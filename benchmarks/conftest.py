@@ -1,0 +1,71 @@
+"""Shared configuration for the benchmark harness.
+
+Every table/figure of the paper's evaluation has a bench here.  Two
+scales are supported:
+
+* **quick** (default): a representative benchmark subset with modest
+  per-instance solver budgets — minutes, suitable for CI.
+* **full** (``REPRO_FULL=1``): all 19 benchmarks, all 8 architectures,
+  with the larger budget given by ``REPRO_TIME_LIMIT`` (seconds,
+  default 300).  The paper itself used budgets of 1-24 *hours* on Gurobi;
+  cells that exceed the budget are reported as ``T`` exactly as in
+  Table 2.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.arch.testsuite import PAPER_ARCHITECTURES
+from repro.explore import build_arch_mrrg
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+TIME_LIMIT = float(os.environ.get("REPRO_TIME_LIMIT", "300" if FULL else "45"))
+
+#: Benchmarks whose verdicts resolve quickly on all architectures.
+QUICK_BENCHMARKS = (
+    "accum",
+    "mac",
+    "add_10",
+    "mult_10",
+    "mult_14",
+    "2x2-f",
+    "2x2-p",
+    "exp_4",
+)
+
+#: Single-context architectures (the structurally interesting half).
+QUICK_ARCHITECTURES = tuple(a for a in PAPER_ARCHITECTURES if a.contexts == 1)
+
+
+def selected_benchmarks() -> tuple[str, ...]:
+    if FULL:
+        from repro.kernels import BENCHMARK_NAMES
+
+        return BENCHMARK_NAMES
+    return QUICK_BENCHMARKS
+
+
+def selected_architectures():
+    return PAPER_ARCHITECTURES if FULL else QUICK_ARCHITECTURES
+
+
+@pytest.fixture(scope="session")
+def paper_mrrgs():
+    """Pruned MRRGs for the selected architecture columns (shared)."""
+    return {a.key: build_arch_mrrg(a) for a in selected_architectures()}
+
+
+@pytest.fixture(scope="session")
+def ilp_sweep_records(paper_mrrgs):
+    """One ILP sweep shared by the Table 2 / Fig. 8 / runtime benches."""
+    from repro.explore import SweepConfig, run_sweep
+
+    config = SweepConfig(
+        benchmarks=selected_benchmarks(),
+        architectures=selected_architectures(),
+        time_limit=TIME_LIMIT,
+    )
+    return run_sweep(config, mrrgs=paper_mrrgs)

@@ -1,0 +1,77 @@
+"""Ablation: sensitivity of mappability to reconstructed micro-architecture.
+
+The paper does not fully specify the functional block's route-through
+capability or the I/O pads' bus reach; DESIGN.md section 2 documents the
+choices this repo makes (shared route-through; pad span derived from the
+interconnect style).  This bench measures how those two knobs move
+mappability, which is exactly the evidence behind the calibration:
+
+* richer route-through monotonically increases feasible mappings;
+* wider I/O span monotonically increases feasible mappings.
+"""
+
+import pytest
+
+from repro.arch import GridSpec, build_grid
+from repro.kernels import kernel
+from repro.mapper import ILPMapper, ILPMapperOptions, MapStatus
+from repro.mrrg import build_mrrg_from_module, prune
+
+BENCHMARKS = ("accum", "add_10", "2x2-f", "2x2-p")
+
+
+def fabric(route_through: str, io_span: int):
+    spec = GridSpec(
+        rows=4, cols=4, route_through=route_through, io_span=io_span
+    )
+    top = build_grid(spec, name=f"rt_{route_through}_{io_span}")
+    return prune(build_mrrg_from_module(top, 1))
+
+
+def count_feasible(mrrg, time_limit=30):
+    mapper = ILPMapper(
+        ILPMapperOptions(time_limit=time_limit, mip_rel_gap=1.0)
+    )
+    feasible = 0
+    verdicts = {}
+    for name in BENCHMARKS:
+        result = mapper.map(kernel(name), mrrg)
+        verdicts[name] = result.status
+        feasible += result.status is MapStatus.MAPPED
+    return feasible, verdicts
+
+
+def test_route_through_monotonicity(benchmark, capsys):
+    def run():
+        return {
+            mode: count_feasible(fabric(mode, io_span=1))[0]
+            for mode in ("none", "shared", "dedicated")
+        }
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("ABLATION route-through (feasible of", len(BENCHMARKS), "):")
+        for mode, count in counts.items():
+            print(f"  {mode:<10} {count}")
+    # "shared" and "dedicated" are not strict supersets of each other
+    # (the shared bypass input disappears in dedicated mode), but both
+    # strictly extend "none".
+    assert counts["none"] <= counts["shared"]
+    assert counts["none"] <= counts["dedicated"]
+
+
+def test_io_span_monotonicity(benchmark, capsys):
+    def run():
+        return {
+            span: count_feasible(fabric("shared", io_span=span))[0]
+            for span in (0, 1, 2)
+        }
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("ABLATION I/O span (feasible of", len(BENCHMARKS), "):")
+        for span, count in counts.items():
+            print(f"  span={span}  {count}")
+    assert counts[0] <= counts[1] <= counts[2]

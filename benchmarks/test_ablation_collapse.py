@@ -1,0 +1,72 @@
+"""Ablation: single-sink variable collapse.
+
+For single-sink values, R[i][j][k] coincides with R[i][j]; collapsing
+them is an exact size optimization (DESIGN.md section 5).  This bench
+measures the variable-count and wall-clock effect and asserts the
+optimum is unchanged.
+"""
+
+import pytest
+
+from repro.arch import GridSpec, build_grid
+from repro.kernels import accum
+from repro.mapper import (
+    ILPMapper,
+    ILPMapperOptions,
+    MapStatus,
+    build_formulation,
+)
+from repro.mrrg import build_mrrg_from_module, prune
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    top = build_grid(GridSpec(rows=3, cols=3), name="fab3")
+    return prune(build_mrrg_from_module(top, 1))
+
+
+def test_collapsed_build(benchmark, fabric):
+    stats = benchmark(
+        lambda: build_formulation(
+            accum(), fabric, ILPMapperOptions(collapse_single_sink=True)
+        ).model.stats()
+    )
+    assert stats.num_vars > 0
+
+
+def test_expanded_build(benchmark, fabric):
+    stats = benchmark(
+        lambda: build_formulation(
+            accum(), fabric, ILPMapperOptions(collapse_single_sink=False)
+        ).model.stats()
+    )
+    assert stats.num_vars > 0
+
+
+def test_collapse_shrinks_model_and_preserves_optimum(fabric, capsys):
+    collapsed_stats = build_formulation(
+        accum(), fabric, ILPMapperOptions(collapse_single_sink=True)
+    ).model.stats()
+    expanded_stats = build_formulation(
+        accum(), fabric, ILPMapperOptions(collapse_single_sink=False)
+    ).model.stats()
+    assert collapsed_stats.num_vars < expanded_stats.num_vars
+
+    collapsed = ILPMapper(
+        ILPMapperOptions(collapse_single_sink=True, time_limit=240)
+    ).map(accum(), fabric)
+    expanded = ILPMapper(
+        ILPMapperOptions(collapse_single_sink=False, time_limit=240)
+    ).map(accum(), fabric)
+    assert collapsed.status is MapStatus.MAPPED
+    assert expanded.status is MapStatus.MAPPED
+    if collapsed.proven_optimal and expanded.proven_optimal:
+        assert collapsed.objective == pytest.approx(expanded.objective)
+
+    with capsys.disabled():
+        print()
+        print("ABLATION single-sink collapse — accum on 3x3:")
+        print(f"  collapsed: {collapsed_stats.num_vars} vars "
+              f"({collapsed.solve_time:.1f}s solve)")
+        print(f"  expanded:  {expanded_stats.num_vars} vars "
+              f"({expanded.solve_time:.1f}s solve)")

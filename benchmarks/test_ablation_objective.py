@@ -1,0 +1,83 @@
+"""Ablation: the objective function (paper eq. 10 and its variants).
+
+The paper minimizes total routing-resource usage and notes it is
+"straightforward to apply alternative objective functions", e.g.
+power-weighting registers.  This bench compares:
+
+* ``route_usage`` — eq. (10);
+* ``none`` — pure feasibility (what Table 2 needs; usually faster);
+* ``weighted`` — registers cost 8x (the paper's power example).
+"""
+
+import pytest
+
+from repro.arch import GridSpec, build_grid
+from repro.kernels import conv_2x2_f
+from repro.mapper import ILPMapper, ILPMapperOptions, MapStatus
+from repro.mrrg import build_mrrg_from_module, prune
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    top = build_grid(GridSpec(rows=3, cols=3), name="fab3")
+    return prune(build_mrrg_from_module(top, 1))
+
+
+def register_weight(node) -> float:
+    return 8.0 if "reg" in node.path else 1.0
+
+
+def map_with(fabric, **options):
+    mapper = ILPMapper(ILPMapperOptions(time_limit=120, **options))
+    return mapper.map(conv_2x2_f(), fabric)
+
+
+def test_route_usage_objective(benchmark, fabric):
+    result = benchmark.pedantic(
+        lambda: map_with(fabric, objective="route_usage"),
+        rounds=1, iterations=1,
+    )
+    assert result.status is MapStatus.MAPPED
+    assert result.proven_optimal
+
+
+def test_feasibility_objective(benchmark, fabric):
+    result = benchmark.pedantic(
+        lambda: map_with(fabric, objective="none"),
+        rounds=1, iterations=1,
+    )
+    assert result.status is MapStatus.MAPPED
+
+
+def test_weighted_objective_avoids_registers(benchmark, fabric, capsys):
+    def run_both():
+        unweighted = map_with(fabric, objective="route_usage")
+        weighted = map_with(
+            fabric, objective="weighted", node_weights=register_weight
+        )
+        return unweighted, weighted
+
+    unweighted, weighted = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert weighted.status is MapStatus.MAPPED
+
+    def registers_used(result):
+        return sum(
+            1 for n in result.mapping.route_nodes_used() if "reg" in n
+        )
+
+    with capsys.disabled():
+        print()
+        print("ABLATION objective — 2x2-f on 3x3:")
+        print(f"  route_usage: cost {unweighted.objective:.0f}, "
+              f"{registers_used(unweighted)} register nodes used")
+        print(f"  weighted:    cost {weighted.objective:.0f}, "
+              f"{registers_used(weighted)} register nodes used")
+    # Penalized registers are never used more often.
+    assert registers_used(weighted) <= registers_used(unweighted)
+
+
+def test_optimal_cost_is_stable_across_modes(fabric):
+    # Feasibility-mode mappings are legal but may cost more than optimal.
+    optimal = map_with(fabric, objective="route_usage")
+    feasible = map_with(fabric, objective="none")
+    assert feasible.mapping.routing_cost() >= optimal.objective

@@ -1,0 +1,70 @@
+"""Scaling study: formulation size and solve time vs fabric scale.
+
+Not a table in the paper, but the claim "valid over any architecture from
+which an MRRG can be generated" invites the obvious question of how the
+formulation grows.  This bench measures ILP variable/constraint counts
+and end-to-end mapping time across grid sizes and context counts.
+"""
+
+import pytest
+
+from repro.arch import GridSpec, build_grid
+from repro.kernels import conv_2x2_f
+from repro.mapper import (
+    ILPMapper,
+    ILPMapperOptions,
+    MapStatus,
+    build_formulation,
+)
+from repro.mrrg import build_mrrg_from_module, prune
+
+
+def fabric(rows, cols, ii):
+    top = build_grid(GridSpec(rows=rows, cols=cols), name=f"g{rows}x{cols}")
+    return prune(build_mrrg_from_module(top, ii))
+
+
+@pytest.mark.parametrize("rows,cols", [(2, 2), (3, 3), (4, 4)])
+def test_formulation_build_scaling(benchmark, rows, cols):
+    mrrg = fabric(rows, cols, 1)
+    stats = benchmark(
+        lambda: build_formulation(conv_2x2_f(), mrrg).model.stats()
+    )
+    assert stats.num_vars > 0
+
+
+@pytest.mark.parametrize("ii", [1, 2])
+def test_context_scaling(benchmark, ii, capsys):
+    mrrg = fabric(3, 3, ii)
+    stats = build_formulation(conv_2x2_f(), mrrg).model.stats()
+    result = benchmark.pedantic(
+        lambda: ILPMapper(ILPMapperOptions(time_limit=180, mip_rel_gap=1.0)).map(
+            conv_2x2_f(), mrrg
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.status is MapStatus.MAPPED
+    with capsys.disabled():
+        print()
+        print(f"SCALING 3x3 II={ii}: {len(mrrg)} MRRG nodes -> "
+              f"{stats.num_vars} vars, {stats.num_constraints} constraints, "
+              f"solve {result.solve_time:.1f}s")
+
+
+def test_variable_growth_is_subquadratic_in_nodes(capsys):
+    """Per-value pruning keeps variables ~linear in MRRG size."""
+    sizes = {}
+    for rows, cols in ((2, 2), (3, 3), (4, 4)):
+        mrrg = fabric(rows, cols, 1)
+        stats = build_formulation(conv_2x2_f(), mrrg).model.stats()
+        sizes[len(mrrg)] = stats.num_vars
+    nodes = sorted(sizes)
+    with capsys.disabled():
+        print()
+        print("SCALING — MRRG nodes vs ILP variables:")
+        for n in nodes:
+            print(f"  {n:>6} nodes -> {sizes[n]:>7} vars")
+    ratio_nodes = nodes[-1] / nodes[0]
+    ratio_vars = sizes[nodes[-1]] / sizes[nodes[0]]
+    assert ratio_vars < ratio_nodes ** 2

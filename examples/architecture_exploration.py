@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Architecture exploration: the paper's headline use case.
+
+"Architects are able to evaluate the 'mappability' of the architectures
+for sets of domain-specific benchmarks" — this example sweeps a benchmark
+set over the four single-context test architectures (Hetero/Homo x
+Orth/Diag) and prints a Table-2-style feasibility matrix, exactly the
+flow of Fig. 7.
+
+The full 4x4 sweep over all 19 benchmarks is in
+``benchmarks/test_table2.py``; this example keeps to a fast subset.
+
+Run:  python examples/architecture_exploration.py
+"""
+
+from repro.arch.testsuite import PAPER_ARCHITECTURES
+from repro.explore import (
+    SweepConfig,
+    build_arch_mrrg,
+    render_table2,
+    run_sweep,
+    total_feasible,
+)
+
+BENCHMARKS = ("accum", "mac", "add_10", "mult_10", "2x2-f", "2x2-p")
+
+
+def main() -> None:
+    single_context = [a for a in PAPER_ARCHITECTURES if a.contexts == 1]
+    print("materializing architectures and MRRGs ...")
+    mrrgs = {a.key: build_arch_mrrg(a) for a in single_context}
+    for arch in single_context:
+        print(f"  {arch.label:<22} {len(mrrgs[arch.key])} MRRG nodes")
+
+    config = SweepConfig(
+        benchmarks=BENCHMARKS,
+        architectures=single_context,
+        time_limit=60.0,
+        progress=lambda r: print(
+            f"  {r.benchmark:<10} on {r.arch_key:<18} -> "
+            f"{r.status.table2_symbol} ({r.total_time:.1f}s)"
+        ),
+    )
+    print("\nmapping (1 = feasible, 0 = proven infeasible, T = timeout):")
+    records = run_sweep(config, mrrgs=mrrgs)
+
+    print()
+    print(render_table2(records, single_context))
+    totals = total_feasible(records, single_context)
+    best = max(totals, key=totals.get)
+    print(f"most mappable architecture for this set: {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Describe a custom CGRA in the XML ADL and map onto it.
+
+The mapper is architecture-agnostic: "both the application, as well as
+the CGRA architecture model are an *input* to the mapper."  This example
+defines a small heterogeneous 1x3 linear array entirely in XML —
+multiplier lanes at the ends, an adder lane in the middle with a
+dedicated relay output, three I/O pads — generates its MRRG, and maps
+``y = (a + b) * a`` onto it.  The mapping has to exploit every quirk of
+the fabric: the adder computes *and* relays ``a`` over its second output,
+one multiplier lane forwards ``b`` across the array, and the other one
+computes the product next to the output pad.
+
+Run:  python examples/custom_architecture.py
+"""
+
+from repro.arch import parse_architecture
+from repro.dfg import DFGBuilder
+from repro.mapper import ILPMapper, ILPMapperOptions
+from repro.mrrg import build_mrrg_from_module, prune, stats
+
+ADL = """
+<architecture name="linear3">
+  <module name="pe_add">
+    <input name="west"/>
+    <input name="east"/>
+    <input name="pad"/>
+    <output name="out"/>
+    <output name="rt_out"/>
+    <mux name="mux_a" inputs="4"/>
+    <mux name="mux_b" inputs="4"/>
+    <fu name="alu" ops="add sub" latency="0" ii="1"/>
+    <reg name="r"/>
+    <mux name="bypass" inputs="2"/>
+    <mux name="mux_r" inputs="3"/>
+    <connect from="this.west" to="mux_a.in0"/>
+    <connect from="this.east" to="mux_a.in1"/>
+    <connect from="this.pad"  to="mux_a.in2"/>
+    <connect from="r.out"     to="mux_a.in3"/>
+    <connect from="this.west" to="mux_b.in0"/>
+    <connect from="this.east" to="mux_b.in1"/>
+    <connect from="this.pad"  to="mux_b.in2"/>
+    <connect from="r.out"     to="mux_b.in3"/>
+    <connect from="mux_a.out" to="alu.in0"/>
+    <connect from="mux_b.out" to="alu.in1"/>
+    <connect from="alu.out"   to="r.in"/>
+    <connect from="alu.out"   to="bypass.in0"/>
+    <connect from="r.out"     to="bypass.in1"/>
+    <connect from="bypass.out" to="this.out"/>
+    <connect from="this.west" to="mux_r.in0"/>
+    <connect from="this.east" to="mux_r.in1"/>
+    <connect from="this.pad"  to="mux_r.in2"/>
+    <connect from="mux_r.out" to="this.rt_out"/>
+  </module>
+  <module name="pe_mul">
+    <input name="west"/>
+    <input name="east"/>
+    <input name="rt"/>
+    <output name="out"/>
+    <mux name="mux_a" inputs="3"/>
+    <mux name="mux_b" inputs="3"/>
+    <fu name="mulu" ops="mul" latency="0" ii="1"/>
+    <mux name="bypass" inputs="2"/>
+    <connect from="this.west" to="mux_a.in0"/>
+    <connect from="this.east" to="mux_a.in1"/>
+    <connect from="this.rt"   to="mux_a.in2"/>
+    <connect from="this.west" to="mux_b.in0"/>
+    <connect from="this.east" to="mux_b.in1"/>
+    <connect from="this.rt"   to="mux_b.in2"/>
+    <connect from="mux_a.out" to="mulu.in0"/>
+    <connect from="mux_b.out" to="mulu.in1"/>
+    <connect from="mulu.out"  to="bypass.in0"/>
+    <connect from="mux_a.out" to="bypass.in1"/>
+    <connect from="bypass.out" to="this.out"/>
+  </module>
+  <module name="iopad">
+    <input name="in0"/>
+    <output name="out"/>
+    <fu name="pad" ops="input output" latency="0"/>
+    <connect from="this.in0" to="pad.in0"/>
+    <connect from="pad.out" to="this.out"/>
+  </module>
+  <module name="top">
+    <inst name="io_l" module="iopad"/>
+    <inst name="io_m" module="iopad"/>
+    <inst name="io_r" module="iopad"/>
+    <inst name="pe0" module="pe_mul"/>
+    <inst name="pe1" module="pe_add"/>
+    <inst name="pe2" module="pe_mul"/>
+    <connect from="io_l.out" to="pe0.west"/>
+    <connect from="io_m.out" to="pe1.pad"/>
+    <connect from="io_r.out" to="pe2.east"/>
+    <connect from="pe1.out"  to="pe0.east"/>
+    <connect from="pe1.out"  to="pe2.west"/>
+    <connect from="pe0.out"  to="pe1.west"/>
+    <connect from="pe2.out"  to="pe1.east"/>
+    <connect from="pe1.rt_out" to="pe0.rt"/>
+    <connect from="pe1.rt_out" to="pe2.rt"/>
+    <connect from="pe0.out"  to="io_l.in0"/>
+    <connect from="pe1.out"  to="io_m.in0"/>
+    <connect from="pe2.out"  to="io_r.in0"/>
+  </module>
+  <top module="top"/>
+</architecture>
+"""
+
+
+def main() -> None:
+    arch = parse_architecture(ADL)
+    print(f"parsed architecture {arch.name!r} "
+          f"with modules: {', '.join(arch.modules)}")
+
+    mrrg = prune(build_mrrg_from_module(arch.top_module, ii=1))
+    print(stats(mrrg))
+
+    b = DFGBuilder("axpb")
+    a = b.input("a")
+    bb = b.input("b")
+    s = b.add(a, bb, name="s")
+    p = b.mul(s, a, name="p")
+    b.output(p, name="y")
+    dfg = b.build()
+
+    result = ILPMapper(ILPMapperOptions(time_limit=60)).map(dfg, mrrg)
+    print(f"verdict: {result.status.value}")
+    if result.mapping:
+        print()
+        print(result.mapping.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The architect's trade-off: mappability vs. silicon cost.
+
+The paper's core pitch: with a *provable* mapper, "the complexity or
+amount of routing or storage structures can be tuned down to the limit of
+'mappability' ... eliminating extra silicon area and power."  This example
+sweeps a small benchmark set over the four single-context architectures,
+pairs each architecture's feasible-mapping count with its estimated
+area/power, and prints the resulting frontier — exactly the analysis the
+paper's Section 5 performs in prose ("a Heterogeneous Diagonal
+architecture ... may be sufficient").
+
+Run:  python examples/mappability_vs_cost.py
+"""
+
+from repro.arch import build_paper_arch, estimate_module_cost
+from repro.arch.testsuite import PAPER_ARCHITECTURES
+from repro.explore import SweepConfig, build_arch_mrrg, run_sweep
+
+BENCHMARKS = ("accum", "mac", "add_10", "mult_10", "2x2-f", "2x2-p", "exp_4")
+
+
+def main() -> None:
+    architectures = [a for a in PAPER_ARCHITECTURES if a.contexts == 1]
+    mrrgs = {a.key: build_arch_mrrg(a) for a in architectures}
+    config = SweepConfig(
+        benchmarks=BENCHMARKS, architectures=architectures, time_limit=60.0
+    )
+    print(f"mapping {len(BENCHMARKS)} benchmarks on {len(architectures)} "
+          "architectures ...")
+    records = run_sweep(config, mrrgs=mrrgs)
+
+    print()
+    header = (f"{'architecture':<22} {'mapped':>7} {'area':>8} "
+              f"{'power':>8} {'area/mapping':>13}")
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for arch in architectures:
+        mapped = sum(
+            1 for r in records if r.arch_key == arch.key and r.feasible
+        )
+        cost = estimate_module_cost(build_paper_arch(arch), arch.contexts)
+        rows.append((arch.label, mapped, cost))
+        per_mapping = cost.total_area / mapped if mapped else float("inf")
+        print(f"{arch.label:<22} {mapped:>4}/{len(BENCHMARKS)} "
+              f"{cost.total_area:>8.0f} {cost.power_proxy:>8.0f} "
+              f"{per_mapping:>13.0f}")
+
+    print()
+    best = min(
+        (row for row in rows if row[1] == max(r[1] for r in rows)),
+        key=lambda row: row[2].total_area,
+    )
+    print(f"cheapest architecture at maximum mappability: {best[0]}")
+
+
+if __name__ == "__main__":
+    main()

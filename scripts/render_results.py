@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Assemble the final Table 2 / Fig. 8 report from sweep logs.
+
+Later entries in a log override earlier ones (retry passes append), so
+the assembled table always reflects the largest budget tried per cell.
+
+Usage: python scripts/render_results.py <ilp_log> [<sa_jsonl> <greedy_jsonl>]
+"""
+
+import re
+import sys
+
+from repro.explore import PAPER_TABLE2, PAPER_TOTAL_FEASIBLE
+
+ARCHS = [
+    "hetero_orth_ii1", "hetero_diag_ii1", "homoge_orth_ii1", "homoge_diag_ii1",
+    "hetero_orth_ii2", "hetero_diag_ii2", "homoge_orth_ii2", "homoge_diag_ii2",
+]
+BENCHES = [
+    "accum", "mac", "add_10", "add_14", "add_16", "mult_10", "mult_14",
+    "mult_16", "2x2-f", "2x2-p", "cos_4", "cosh_4", "exp_4", "exp_5",
+    "exp_6", "sinh_4", "tay_4", "extreme", "weighted_sum",
+]
+
+
+def parse_log(path: str) -> dict:
+    cells: dict[tuple[str, str], str] = {}
+    for line in open(path):
+        m = re.match(r"(\S+)\s+(\S+)\s+([10T])\s+([\d.]+)s", line)
+        if m:
+            cells[(m.group(1), m.group(2))] = m.group(3)
+    return cells
+
+
+def main() -> int:
+    cells = parse_log(sys.argv[1])
+    print(f"{'Benchmark':<14}" + "".join(f"{a:>17}" for a in ARCHS))
+    agree = total = 0
+    for bench in BENCHES:
+        row = []
+        for arch in ARCHS:
+            got = cells.get((bench, arch), "-")
+            want = PAPER_TABLE2[bench][arch]
+            total += got != "-"
+            agree += got == want
+            row.append(f"{got}({want})")
+        print(f"{bench:<14}" + "".join(f"{c:>17}" for c in row))
+    totals = {
+        arch: sum(1 for b in BENCHES if cells.get((b, arch)) == "1")
+        for arch in ARCHS
+    }
+    print(f"{'Total Feasible':<14}" + "".join(
+        f"{totals[a]}({PAPER_TOTAL_FEASIBLE[a]})".rjust(17) for a in ARCHS
+    ))
+    timeouts = {
+        arch: sum(1 for b in BENCHES if cells.get((b, arch)) == "T")
+        for arch in ARCHS
+    }
+    print(f"{'(timeouts)':<14}" + "".join(
+        str(timeouts[a]).rjust(17) for a in ARCHS
+    ))
+    print(f"\nper-cell agreement (ours vs paper): {agree}/{total}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""XML architecture description language (ADL).
+
+A textual front-end to the module model, analogous to CGRA-ME's
+"high-level XML-based language".  Example::
+
+    <architecture name="tiny">
+      <module name="pe">
+        <input name="din"/>
+        <output name="dout"/>
+        <mux name="m" inputs="2"/>
+        <fu name="alu" ops="add sub mul" latency="0" ii="1"/>
+        <reg name="r"/>
+        <connect from="this.din" to="m.in0"/>
+        <connect from="m.out" to="alu.in0"/>
+        <connect from="this.din" to="alu.in1"/>
+        <connect from="alu.out" to="r.in"/>
+        <connect from="r.out" to="m.in1"/>
+        <connect from="r.out" to="this.dout"/>
+      </module>
+      <top module="pe"/>
+    </architecture>
+
+Modules may instantiate previously defined modules with
+``<inst name="..." module="..."/>``.  :func:`parse_architecture` and
+:func:`serialize_architecture` round-trip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import xml.etree.ElementTree as ET
+
+from .module import Module
+from .ports import ArchError, Direction
+from .primitives import FunctionalUnit, Multiplexer, Register
+
+
+class ADLError(ArchError):
+    """Raised for malformed architecture XML."""
+
+
+@dataclasses.dataclass
+class Architecture:
+    """A parsed architecture: module library plus the selected top."""
+
+    name: str
+    modules: dict[str, Module]
+    top: str
+
+    @property
+    def top_module(self) -> Module:
+        return self.modules[self.top]
+
+    @classmethod
+    def from_top(cls, top: Module, name: str | None = None) -> "Architecture":
+        """Wrap a programmatically built module tree as an Architecture."""
+        return cls(name or top.name, top.referenced_modules(), top.name)
+
+
+def _require(element: ET.Element, attr: str) -> str:
+    value = element.get(attr)
+    if value is None:
+        raise ADLError(f"<{element.tag}> is missing required attribute {attr!r}")
+    return value
+
+
+def _int_attr(element: ET.Element, attr: str, default: int) -> int:
+    raw = element.get(attr)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ADLError(f"<{element.tag}> attribute {attr!r} must be an integer") from None
+
+
+def parse_architecture(text: str) -> Architecture:
+    """Parse architecture XML into an :class:`Architecture`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ADLError(f"XML syntax error: {exc}") from None
+    if root.tag != "architecture":
+        raise ADLError(f"expected <architecture> root, got <{root.tag}>")
+    arch_name = _require(root, "name")
+
+    modules: dict[str, Module] = {}
+    top_name: str | None = None
+    for child in root:
+        if child.tag == "module":
+            module = _parse_module(child, modules)
+            if module.name in modules:
+                raise ADLError(f"duplicate module definition {module.name!r}")
+            modules[module.name] = module
+        elif child.tag == "top":
+            top_name = _require(child, "module")
+        else:
+            raise ADLError(f"unexpected element <{child.tag}> under <architecture>")
+    if top_name is None:
+        raise ADLError("missing <top module=.../> element")
+    if top_name not in modules:
+        raise ADLError(f"<top> references undefined module {top_name!r}")
+    return Architecture(arch_name, modules, top_name)
+
+
+def _parse_module(node: ET.Element, library: dict[str, Module]) -> Module:
+    module = Module(_require(node, "name"))
+    for child in node:
+        if child.tag == "input":
+            module.add_input(_require(child, "name"))
+        elif child.tag == "output":
+            module.add_output(_require(child, "name"))
+        elif child.tag == "fu":
+            ops = _require(child, "ops").split()
+            if not ops:
+                raise ADLError(f"<fu name={child.get('name')!r}> has empty ops list")
+            module.add_fu(
+                _require(child, "name"),
+                ops,
+                latency=_int_attr(child, "latency", 0),
+                ii=_int_attr(child, "ii", 1),
+            )
+        elif child.tag == "mux":
+            module.add_mux(_require(child, "name"), _int_attr(child, "inputs", 2))
+        elif child.tag == "reg":
+            module.add_reg(_require(child, "name"))
+        elif child.tag == "inst":
+            ref = _require(child, "module")
+            if ref not in library:
+                raise ADLError(
+                    f"<inst> references module {ref!r} before its definition"
+                )
+            module.add_instance(_require(child, "name"), library[ref])
+        elif child.tag == "connect":
+            module.connect(_require(child, "from"), _require(child, "to"))
+        else:
+            raise ADLError(f"unexpected element <{child.tag}> under <module>")
+    return module
+
+
+def serialize_architecture(arch: Architecture) -> str:
+    """Render an :class:`Architecture` as ADL XML (round-trippable)."""
+    root = ET.Element("architecture", name=arch.name)
+    for module in _definition_order(arch):
+        node = ET.SubElement(root, "module", name=module.name)
+        for port in module.ports.values():
+            tag = "input" if port.direction is Direction.IN else "output"
+            ET.SubElement(node, tag, name=port.name)
+        for name, element in module.elements.items():
+            if isinstance(element, Module):
+                ET.SubElement(node, "inst", name=name, module=element.name)
+            elif isinstance(element, FunctionalUnit):
+                ET.SubElement(
+                    node,
+                    "fu",
+                    name=name,
+                    ops=" ".join(sorted(op.value for op in element.ops)),
+                    latency=str(element.latency),
+                    ii=str(element.ii),
+                )
+            elif isinstance(element, Multiplexer):
+                ET.SubElement(node, "mux", name=name, inputs=str(element.num_inputs))
+            elif isinstance(element, Register):
+                ET.SubElement(node, "reg", name=name)
+            else:  # pragma: no cover - defensive
+                raise ADLError(f"cannot serialize element {name!r} ({element!r})")
+        for src, dst in module.connections:
+            connect = ET.SubElement(node, "connect")
+            connect.set("from", str(src))
+            connect.set("to", str(dst))
+    ET.SubElement(root, "top", module=arch.top)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode") + "\n"
+
+
+def _definition_order(arch: Architecture) -> list[Module]:
+    """Modules ordered so definitions precede their instantiations."""
+    order: list[Module] = []
+    visited: set[str] = set()
+
+    def visit(module: Module) -> None:
+        if module.name in visited:
+            return
+        visited.add(module.name)
+        for element in module.elements.values():
+            if isinstance(element, Module):
+                visit(element)
+        order.append(module)
+
+    visit(arch.top_module)
+    # Include any library modules not reachable from top (kept for fidelity).
+    for module in arch.modules.values():
+        visit(module)
+    return order
+
+
+def load(path: str) -> Architecture:
+    """Parse architecture XML from a file path."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_architecture(handle.read())
+
+
+def save(arch: Architecture, path: str) -> None:
+    """Serialize an architecture to a file path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize_architecture(arch))

@@ -1,0 +1,133 @@
+"""Library of standard blocks (the paper's Fig. 3/6 building blocks)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..dfg.opcodes import ALU_OPS, IO_OPS, MEMORY_OPS, OpCode
+from .module import Module
+from .ports import ArchError
+
+
+def functional_block(
+    name: str,
+    ops: Iterable[OpCode] = ALU_OPS,
+    num_inputs: int = 4,
+    reg_feedback: bool = True,
+    route_through: str = "dedicated",
+    fu_latency: int = 0,
+) -> Module:
+    """The paper's Fig. 3 functional block.
+
+    Datapath: two input multiplexers select the ALU operands from the block
+    inputs (plus, optionally, the block's own register for accumulator
+    feedback); the latency-0 ALU result feeds an output register; a bypass
+    multiplexer drives the block output with either the registered or the
+    combinational result.
+
+    Multi-hop routing capability is controlled by ``route_through``:
+
+    * ``"dedicated"`` — a third multiplexer (``mux_r``) and a second block
+      output (``rt_out``) relay one value per context independently of the
+      ALU (a separate routing path, as in ADRES-style PEs);
+    * ``"shared"`` — the bypass multiplexer can forward ``mux_a``'s
+      selection, so the block can relay *or* compute, not both;
+    * ``"none"`` — values can only enter a block to be consumed by its ALU.
+
+    Args:
+        name: module definition name.
+        ops: opcodes the ALU supports (use :data:`ALU_OPS_NO_MUL` for
+            Heterogeneous blocks without a multiplier).
+        num_inputs: number of block data inputs (grows with interconnect
+            richness: "For Diagonal interconnect, the size of each
+            functional block's input multiplexer was increased").
+        reg_feedback: route the register output back into the operand
+            multiplexers (enables single-FU accumulators).
+        route_through: "dedicated", "shared" or "none" (see above).
+        fu_latency: ALU latency in cycles (0 in Fig. 3).
+    """
+    if num_inputs < 1:
+        raise ArchError("functional block needs at least one input")
+    if route_through not in ("dedicated", "shared", "none"):
+        raise ArchError(f"unknown route_through mode {route_through!r}")
+    block = Module(name)
+    for i in range(num_inputs):
+        block.add_input(f"in{i}")
+    block.add_output("out")
+
+    mux_inputs = num_inputs + (1 if reg_feedback else 0)
+    block.add_mux("mux_a", mux_inputs)
+    block.add_mux("mux_b", mux_inputs)
+    block.add_fu("alu", list(ops), latency=fu_latency)
+    block.add_reg("reg")
+    block.add_mux("bypass", 3 if route_through == "shared" else 2)
+
+    for i in range(num_inputs):
+        block.connect(f"this.in{i}", f"mux_a.in{i}")
+        block.connect(f"this.in{i}", f"mux_b.in{i}")
+    if reg_feedback:
+        block.connect("reg.out", f"mux_a.in{num_inputs}")
+        block.connect("reg.out", f"mux_b.in{num_inputs}")
+    block.connect("mux_a.out", "alu.in0")
+    block.connect("mux_b.out", "alu.in1")
+    block.connect("alu.out", "reg.in")
+    block.connect("alu.out", "bypass.in0")
+    block.connect("reg.out", "bypass.in1")
+    if route_through == "shared":
+        block.connect("mux_a.out", "bypass.in2")
+    block.connect("bypass.out", "this.out")
+
+    if route_through == "dedicated":
+        block.add_output("rt_out")
+        block.add_mux("mux_r", num_inputs)
+        for i in range(num_inputs):
+            block.connect(f"this.in{i}", f"mux_r.in{i}")
+        block.connect("mux_r.out", "this.rt_out")
+    return block
+
+
+def io_block(name: str = "io", num_inputs: int = 1) -> Module:
+    """A peripheral I/O block hosting INPUT and OUTPUT operations.
+
+    With ``num_inputs > 1`` the pad reads its OUTPUT operand through an
+    input multiplexer spanning several edge blocks (a light periphery
+    bus), mirroring the shared-bus interconnect of the test architectures.
+    """
+    if num_inputs < 1:
+        raise ArchError("I/O block needs at least one input")
+    block = Module(name)
+    for i in range(num_inputs):
+        block.add_input(f"in{i}")
+    block.add_output("out")
+    block.add_fu("pad", list(IO_OPS), latency=0)
+    if num_inputs == 1:
+        block.connect("this.in0", "pad.in0")
+    else:
+        block.add_mux("mux_in", num_inputs)
+        for i in range(num_inputs):
+            block.connect(f"this.in{i}", f"mux_in.in{i}")
+        block.connect("mux_in.out", "pad.in0")
+    block.connect("pad.out", "this.out")
+    return block
+
+
+def memory_port(name: str = "mem", num_inputs: int = 4) -> Module:
+    """A shared memory access port ("a special functional unit that can
+    only perform load and store operations"), one per row in Fig. 6.
+
+    Store data is selected from the row's functional-block outputs through
+    an input multiplexer; load results drive the row through ``out``.
+    """
+    if num_inputs < 1:
+        raise ArchError("memory port needs at least one input")
+    block = Module(name)
+    for i in range(num_inputs):
+        block.add_input(f"in{i}")
+    block.add_output("out")
+    block.add_mux("mux_in", num_inputs)
+    block.add_fu("port", list(MEMORY_OPS), latency=0)
+    for i in range(num_inputs):
+        block.connect(f"this.in{i}", f"mux_in.in{i}")
+    block.connect("mux_in.out", "port.in0")
+    block.connect("port.out", "this.out")
+    return block

@@ -1,0 +1,130 @@
+"""Hardware cost estimation for architectures.
+
+The paper's motivation for exact mappability analysis is architectural
+tuning: "the complexity or amount of routing or storage structures can be
+tuned down to the limit of 'mappability' ... eliminating extra silicon
+area and power."  This module provides the cost side of that trade-off: a
+simple, transparent area/power proxy over the flattened netlist, so
+exploration scripts can report *mappability vs. cost* frontiers.
+
+The unit model is deliberately coarse (relative units, not um^2):
+
+* a W-bit functional unit costs ``FU_BASE + FU_PER_OP * |ops|``
+  (+ ``MUL_EXTRA`` when it contains a multiplier, which dominates);
+* an N-input multiplexer costs ``MUX_PER_INPUT * (N - 1)``;
+* a register costs ``REG_COST``;
+* every net sink contributes ``WIRE_PER_SINK`` of wiring.
+
+Power is approximated as proportional to area with routing weighted
+heavier (wires and muxes toggle most), matching the paper's remark that
+"long wires, registers, register files or other data value routing
+structures contribute significantly to power".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..dfg.opcodes import OpCode
+from .module import Module
+from .netlist import FlatNetlist, flatten
+from .primitives import FunctionalUnit, Multiplexer, Register
+
+FU_BASE = 60.0
+FU_PER_OP = 6.0
+MUL_EXTRA = 140.0
+MUX_PER_INPUT = 4.0
+REG_COST = 16.0
+WIRE_PER_SINK = 1.5
+
+ROUTING_POWER_WEIGHT = 1.6
+COMPUTE_POWER_WEIGHT = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CostReport:
+    """Cost breakdown of an architecture (relative units).
+
+    Attributes:
+        compute_area: functional units.
+        routing_area: multiplexers and wiring.
+        storage_area: registers.
+        num_fus/num_muxes/num_regs/num_net_sinks: inventory counts.
+    """
+
+    compute_area: float
+    routing_area: float
+    storage_area: float
+    num_fus: int
+    num_muxes: int
+    num_regs: int
+    num_net_sinks: int
+
+    @property
+    def total_area(self) -> float:
+        return self.compute_area + self.routing_area + self.storage_area
+
+    @property
+    def power_proxy(self) -> float:
+        """Relative dynamic-power estimate (routing-weighted area)."""
+        return (
+            COMPUTE_POWER_WEIGHT * self.compute_area
+            + ROUTING_POWER_WEIGHT * (self.routing_area + self.storage_area)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"area {self.total_area:.0f} "
+            f"(compute {self.compute_area:.0f} / routing "
+            f"{self.routing_area:.0f} / storage {self.storage_area:.0f}), "
+            f"power proxy {self.power_proxy:.0f}"
+        )
+
+
+def estimate_cost(netlist: FlatNetlist) -> CostReport:
+    """Estimate the hardware cost of a flattened architecture."""
+    compute = routing = storage = 0.0
+    num_fus = num_muxes = num_regs = 0
+    for primitive in netlist.primitives.values():
+        if isinstance(primitive, FunctionalUnit):
+            num_fus += 1
+            compute += FU_BASE + FU_PER_OP * len(primitive.ops)
+            if OpCode.MUL in primitive.ops or OpCode.DIV in primitive.ops:
+                compute += MUL_EXTRA
+        elif isinstance(primitive, Multiplexer):
+            num_muxes += 1
+            routing += MUX_PER_INPUT * max(primitive.num_inputs - 1, 0)
+        elif isinstance(primitive, Register):
+            num_regs += 1
+            storage += REG_COST
+    num_net_sinks = sum(len(net.sinks) for net in netlist.nets)
+    routing += WIRE_PER_SINK * num_net_sinks
+    return CostReport(
+        compute_area=compute,
+        routing_area=routing,
+        storage_area=storage,
+        num_fus=num_fus,
+        num_muxes=num_muxes,
+        num_regs=num_regs,
+        num_net_sinks=num_net_sinks,
+    )
+
+
+def estimate_module_cost(module: Module, contexts: int = 1) -> CostReport:
+    """Flatten and estimate; ``contexts`` scales configuration storage.
+
+    Supporting a second context costs extra configuration memory; we
+    model it as one register-equivalent per configurable resource (mux or
+    FU) per extra context, which is how the paper frames the price of
+    dual context ("extra hardware (and power) to support the second
+    configuration context").
+    """
+    report = estimate_cost(flatten(module))
+    if contexts <= 1:
+        return report
+    extra_config = (
+        (contexts - 1) * (report.num_muxes + report.num_fus) * (REG_COST / 2)
+    )
+    return dataclasses.replace(
+        report, storage_area=report.storage_area + extra_config
+    )

@@ -1,0 +1,205 @@
+"""Parametric CGRA grid generator (the paper's Fig. 6 arrangement).
+
+Builds an R x C array of Fig.-3 functional blocks with:
+
+* *Orthogonal* or *Diagonal* interconnect between nearest neighbours,
+* peripheral I/O blocks on all four sides (one per edge block), each
+  sharing bus connectivity with the nearest edge blocks (``io_span``),
+* one shared memory access port per row,
+* per-block ALU capability chosen by a callback (used for Homogeneous vs
+  Heterogeneous fabrics).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable
+
+from ..dfg.opcodes import ALU_OPS, ALU_OPS_NO_MUL, OpCode
+from .blocks import functional_block, io_block, memory_port
+from .module import Module
+from .ports import ArchError
+
+Interconnect = str  # "orthogonal" | "diagonal"
+
+_ORTHO_OFFSETS = ((-1, 0), (0, 1), (1, 0), (0, -1))
+_DIAG_OFFSETS = ((-1, 1), (1, 1), (1, -1), (-1, -1))
+
+
+def homogeneous_ops(row: int, col: int) -> frozenset[OpCode]:
+    """Every block gets a full-fledged ALU including a multiplier."""
+    return ALU_OPS
+
+
+def heterogeneous_ops(row: int, col: int) -> frozenset[OpCode]:
+    """Checkerboard: half of the ALUs contain a multiplier."""
+    return ALU_OPS if (row + col) % 2 == 0 else ALU_OPS_NO_MUL
+
+
+@dataclasses.dataclass(frozen=True)
+class GridSpec:
+    """Parameters of a generated CGRA grid.
+
+    Attributes:
+        rows/cols: array dimensions.
+        interconnect: "orthogonal" or "diagonal" (diagonal is a superset).
+        ops_for: per-position ALU capability callback.
+        with_io: place peripheral I/O blocks.
+        with_memory: place one shared memory port per row.
+        reg_feedback: feed each block's register back to its operand muxes.
+        route_through: "dedicated" (separate relay mux + second output),
+            "shared" (relay via the bypass mux, mutually exclusive with
+            computing) or "none".
+        io_span: bus reach of each I/O pad along its edge (a pad at edge
+            position ``p`` connects bidirectionally to edge blocks at
+            positions ``p - io_span .. p + io_span``).
+        fu_latency: ALU latency in cycles (0 = combinational, Fig. 3;
+            nonzero exercises the Fig. 2 latency translation rules on a
+            full fabric and requires II > latency to be useful).
+    """
+
+    rows: int = 4
+    cols: int = 4
+    interconnect: Interconnect = "orthogonal"
+    ops_for: Callable[[int, int], Iterable[OpCode]] = homogeneous_ops
+    with_io: bool = True
+    with_memory: bool = True
+    reg_feedback: bool = True
+    route_through: str = "dedicated"
+    io_span: int = 1
+    fu_latency: int = 0
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise ArchError("grid must be at least 1x1")
+        if self.interconnect not in ("orthogonal", "diagonal"):
+            raise ArchError(
+                f"unknown interconnect {self.interconnect!r}; "
+                "expected 'orthogonal' or 'diagonal'"
+            )
+        if self.io_span < 0:
+            raise ArchError("io_span must be non-negative")
+        if self.fu_latency < 0:
+            raise ArchError("fu_latency must be non-negative")
+        if self.route_through not in ("dedicated", "shared", "none"):
+            raise ArchError(
+                f"unknown route_through mode {self.route_through!r}"
+            )
+
+
+def io_adjacency(spec: GridSpec) -> dict[str, list[tuple[int, int]]]:
+    """I/O pad name -> edge block positions it shares a bus with.
+
+    Pads sit one per edge block: ``io_n_<col>``/``io_s_<col>`` along the
+    top/bottom rows and ``io_w_<row>``/``io_e_<row>`` along the side
+    columns, each reaching ``io_span`` blocks to either side.
+    """
+    result: dict[str, list[tuple[int, int]]] = {}
+    span = range(-spec.io_span, spec.io_span + 1)
+    for c in range(spec.cols):
+        result[f"io_n_{c}"] = [
+            (0, c + d) for d in span if 0 <= c + d < spec.cols
+        ]
+        result[f"io_s_{c}"] = [
+            (spec.rows - 1, c + d) for d in span if 0 <= c + d < spec.cols
+        ]
+    for r in range(spec.rows):
+        result[f"io_w_{r}"] = [
+            (r + d, 0) for d in span if 0 <= r + d < spec.rows
+        ]
+        result[f"io_e_{r}"] = [
+            (r + d, spec.cols - 1) for d in span if 0 <= r + d < spec.rows
+        ]
+    return result
+
+
+def build_grid(spec: GridSpec, name: str = "cgra") -> Module:
+    """Build the top-level CGRA module for a :class:`GridSpec`."""
+    top = Module(name)
+    rows, cols = spec.rows, spec.cols
+
+    def in_grid(r: int, c: int) -> bool:
+        return 0 <= r < rows and 0 <= c < cols
+
+    ios = io_adjacency(spec) if spec.with_io else {}
+    dedicated = spec.route_through == "dedicated"
+
+    def fb_outputs(r: int, c: int) -> list[str]:
+        outs = [f"fb_{r}_{c}.out"]
+        if dedicated:
+            outs.append(f"fb_{r}_{c}.rt_out")
+        return outs
+
+    # Sources feeding each block's input multiplexers, in deterministic
+    # order: orthogonal neighbours, then diagonal neighbours, then I/O
+    # pads on the block's bus, then the row's memory port.
+    sources: dict[tuple[int, int], list[str]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            entries: list[str] = []
+            for dr, dc in _ORTHO_OFFSETS:
+                if in_grid(r + dr, c + dc):
+                    entries.extend(fb_outputs(r + dr, c + dc))
+            if spec.interconnect == "diagonal":
+                for dr, dc in _DIAG_OFFSETS:
+                    if in_grid(r + dr, c + dc):
+                        entries.extend(fb_outputs(r + dr, c + dc))
+            for io_name, blocks in ios.items():
+                if (r, c) in blocks:
+                    entries.append(f"{io_name}.out")
+            if spec.with_memory:
+                entries.append(f"mem_{r}.out")
+            sources[(r, c)] = entries
+
+    # Functional blocks: reuse a definition per (ops, fan-in) signature.
+    fb_defs: dict[tuple[frozenset[OpCode], int], Module] = {}
+    for r in range(rows):
+        for c in range(cols):
+            ops = frozenset(spec.ops_for(r, c))
+            fan_in = len(sources[(r, c)])
+            if fan_in == 0:
+                raise ArchError(
+                    f"block ({r}, {c}) has no data sources; a 1x1 grid "
+                    "needs I/O pads or a memory port to be connected"
+                )
+            key = (ops, fan_in)
+            if key not in fb_defs:
+                has_mul = OpCode.MUL in ops
+                def_name = f"fb_{'mul' if has_mul else 'nomul'}_{fan_in}in"
+                fb_defs[key] = functional_block(
+                    def_name,
+                    ops=ops,
+                    num_inputs=fan_in,
+                    reg_feedback=spec.reg_feedback,
+                    route_through=spec.route_through,
+                    fu_latency=spec.fu_latency,
+                )
+            top.add_instance(f"fb_{r}_{c}", fb_defs[key])
+
+    # I/O pads: reuse a definition per fan-in.
+    io_defs: dict[int, Module] = {}
+    for io_name, blocks in ios.items():
+        feeds = [src for (r, c) in blocks for src in fb_outputs(r, c)]
+        fan_in = len(feeds)
+        if fan_in not in io_defs:
+            io_defs[fan_in] = io_block(f"io_block_{fan_in}in", num_inputs=fan_in)
+        top.add_instance(io_name, io_defs[fan_in])
+        for index, src in enumerate(feeds):
+            top.connect(src, f"{io_name}.in{index}")
+
+    if spec.with_memory:
+        mem_fan_in = cols * (2 if dedicated else 1)
+        mem_def = memory_port("mem_port", num_inputs=mem_fan_in)
+        for r in range(rows):
+            top.add_instance(f"mem_{r}", mem_def)
+            index = 0
+            for c in range(cols):
+                for src in fb_outputs(r, c):
+                    top.connect(src, f"mem_{r}.in{index}")
+                    index += 1
+
+    for (r, c), entries in sources.items():
+        for index, src in enumerate(entries):
+            top.connect(src, f"fb_{r}_{c}.in{index}")
+
+    return top

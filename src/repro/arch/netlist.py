@@ -1,0 +1,140 @@
+"""Flattening of hierarchical modules into a primitive-level netlist.
+
+The MRRG generator consumes a :class:`FlatNetlist`: primitive instances
+identified by their hierarchical path (``"grid/fb_0_1/alu"``) and nets
+connecting one primitive output to primitive inputs.  Composite module
+ports are resolved away during flattening (they are aliases, not hardware).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .module import Module
+from .ports import THIS, ArchError, Direction
+from .primitives import Primitive
+
+#: A fully-qualified primitive port: (primitive path, port name).
+PortKey = tuple[str, str]
+
+
+@dataclasses.dataclass(frozen=True)
+class Net:
+    """One source-to-sinks connection at the primitive level."""
+
+    driver: PortKey
+    sinks: tuple[PortKey, ...]
+
+
+@dataclasses.dataclass
+class FlatNetlist:
+    """Flattened architecture: primitives plus primitive-level nets.
+
+    ``undriven`` lists primitive input ports that were wired to a net with
+    no driver (e.g. a floating composite input); such ports simply never
+    receive data — their MRRG nodes are dead and get pruned.
+    """
+
+    name: str
+    primitives: dict[str, Primitive]
+    nets: list[Net]
+    undriven: tuple[PortKey, ...] = ()
+
+    def fanin_count(self, key: PortKey) -> int:
+        return sum(1 for net in self.nets if key in net.sinks)
+
+    def driver_of(self, key: PortKey) -> PortKey | None:
+        for net in self.nets:
+            if key in net.sinks:
+                return net.driver
+        return None
+
+
+class _UnionFind:
+    def __init__(self):
+        self._parent: dict = {}
+
+    def find(self, item):
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            root = self.find(parent)
+            self._parent[item] = root
+            return root
+        return item
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def groups(self) -> dict:
+        result: dict = {}
+        for item in list(self._parent):
+            result.setdefault(self.find(item), []).append(item)
+        return result
+
+
+def flatten(top: Module, separator: str = "/") -> FlatNetlist:
+    """Elaborate a module hierarchy into a :class:`FlatNetlist`.
+
+    Raises:
+        ArchError: when a net has multiple primitive drivers.
+    """
+    primitives: dict[str, Primitive] = {}
+    uf = _UnionFind()
+
+    def walk(module: Module, path: str) -> None:
+        for name, element in module.elements.items():
+            child_path = f"{path}{separator}{name}" if path else name
+            if isinstance(element, Module):
+                walk(element, child_path)
+            else:
+                primitives[child_path] = element
+        for src, dst in module.connections:
+            uf.union(_resolve(module, path, src, separator),
+                     _resolve(module, path, dst, separator))
+
+    def _resolve(module: Module, path: str, ref, separator: str):
+        if ref.element == THIS:
+            return ("composite", path, ref.port)
+        element = module.elements[ref.element]
+        child_path = f"{path}{separator}{ref.element}" if path else ref.element
+        if isinstance(element, Module):
+            return ("composite", child_path, ref.port)
+        return ("prim", child_path, ref.port)
+
+    walk(top, "")
+
+    nets: list[Net] = []
+    undriven: list[PortKey] = []
+    for members in uf.groups().values():
+        drivers: list[PortKey] = []
+        sinks: list[PortKey] = []
+        for tag, path, port_name in members:
+            if tag != "prim":
+                continue
+            primitive = primitives[path]
+            port = primitive.port(port_name)
+            if port.direction is Direction.OUT:
+                drivers.append((path, port_name))
+            else:
+                sinks.append((path, port_name))
+        if len(drivers) > 1:
+            names = ", ".join(f"{p}.{q}" for p, q in drivers)
+            raise ArchError(f"net has multiple drivers: {names}")
+        if not drivers:
+            # Floating inputs are legal; record them for diagnostics.
+            undriven.extend(sinks)
+            continue
+        if not sinks:
+            # A driven net with no sinks is legal (unused output).
+            continue
+        nets.append(Net(driver=drivers[0], sinks=tuple(sorted(sinks))))
+
+    nets.sort(key=lambda net: net.driver)
+    return FlatNetlist(
+        name=top.name,
+        primitives=primitives,
+        nets=nets,
+        undriven=tuple(sorted(undriven)),
+    )

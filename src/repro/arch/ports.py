@@ -1,0 +1,69 @@
+"""Port and port-reference types for the architecture model."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import re
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
+
+
+class ArchError(ValueError):
+    """Raised for invalid architecture construction or references."""
+
+
+class Direction(enum.Enum):
+    """Port direction, from the perspective of the owning module/element."""
+
+    IN = "in"
+    OUT = "out"
+
+
+@dataclasses.dataclass(frozen=True)
+class Port:
+    """A named, directed port."""
+
+    name: str
+    direction: Direction
+
+    def __post_init__(self):
+        if not _NAME_RE.match(self.name):
+            raise ArchError(f"invalid port name {self.name!r}")
+
+
+#: The reserved element name referring to the enclosing module's own ports.
+THIS = "this"
+
+
+@dataclasses.dataclass(frozen=True)
+class PortRef:
+    """Reference to a port of an element (or of the module itself).
+
+    ``element`` is either an element name within the module or the literal
+    ``"this"`` for the module's own ports.
+    """
+
+    element: str
+    port: str
+
+    @classmethod
+    def parse(cls, text: str) -> "PortRef":
+        """Parse ``"element.port"`` / ``"this.port"`` notation."""
+        parts = text.split(".")
+        if len(parts) != 2 or not all(parts):
+            raise ArchError(f"malformed port reference {text!r}; expected 'elem.port'")
+        element, port = parts
+        if element != THIS and not _NAME_RE.match(element):
+            raise ArchError(f"invalid element name in reference {text!r}")
+        if not _NAME_RE.match(port):
+            raise ArchError(f"invalid port name in reference {text!r}")
+        return cls(element, port)
+
+    def __str__(self) -> str:
+        return f"{self.element}.{self.port}"
+
+
+def valid_name(name: str) -> bool:
+    """Whether a string is a legal element/module name."""
+    return bool(_NAME_RE.match(name)) and name != THIS

@@ -1,0 +1,98 @@
+"""The paper's test architectures (Section 5).
+
+Eight architectures = {Heterogeneous, Homogeneous} functional blocks
+x {Orthogonal, Diagonal} interconnect x {1, 2} execution contexts.
+Context count is a property of MRRG generation, so this module defines the
+four *spatial* architectures; pair them with ``ii`` at mapping time.
+
+Column order matches Table 2: Hetero-Orth, Hetero-Diag, Homo-Orth,
+Homo-Diag, first with a single context (II=1), then dual context (II=2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .grid import GridSpec, build_grid, heterogeneous_ops, homogeneous_ops
+from .module import Module
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperArch:
+    """One architecture column of Table 2."""
+
+    key: str
+    fb_style: str  # "heterogeneous" | "homogeneous"
+    interconnect: str  # "orthogonal" | "diagonal"
+    contexts: int  # 1 or 2 (the MRRG initiation interval)
+
+    @property
+    def label(self) -> str:
+        style = "Hetero." if self.fb_style == "heterogeneous" else "Homo."
+        wires = "Orth." if self.interconnect == "orthogonal" else "Diag."
+        return f"{style} {wires} (II={self.contexts})"
+
+
+def paper_architecture(
+    fb_style: str,
+    interconnect: str,
+    rows: int = 4,
+    cols: int = 4,
+) -> Module:
+    """Build one of the paper's 4x4 spatial architectures.
+
+    Args:
+        fb_style: "homogeneous" (all ALUs multiply) or "heterogeneous"
+            (checkerboard: half the ALUs contain a multiplier).
+        interconnect: "orthogonal" or "diagonal".
+        rows/cols: grid size (4x4 in the paper; parametric for scaling
+            studies).
+    """
+    if fb_style == "homogeneous":
+        ops_for = homogeneous_ops
+    elif fb_style == "heterogeneous":
+        ops_for = heterogeneous_ops
+    else:
+        raise ValueError(
+            f"unknown fb_style {fb_style!r}; expected 'homogeneous' or "
+            "'heterogeneous'"
+        )
+    # Reconstruction choices (DESIGN.md section 2): blocks relay values
+    # through the shared bypass multiplexer (relaying and computing are
+    # mutually exclusive per block), and the periphery I/O pads take part
+    # in the interconnect scheme like any other cell — orthogonal pads
+    # reach exactly their nearest edge block, diagonal interconnect
+    # additionally gives each pad its two diagonal edge blocks.
+    spec = GridSpec(
+        rows=rows,
+        cols=cols,
+        interconnect=interconnect,
+        ops_for=ops_for,
+        route_through="shared",
+        io_span=0 if interconnect == "orthogonal" else 1,
+    )
+    name = f"{fb_style[:4]}_{interconnect[:4]}_{rows}x{cols}"
+    return build_grid(spec, name=name)
+
+
+#: Table 2's eight architecture columns, in column order.
+PAPER_ARCHITECTURES: tuple[PaperArch, ...] = tuple(
+    PaperArch(
+        key=f"{style[:6]}_{wires[:4]}_ii{contexts}",
+        fb_style=style,
+        interconnect=wires,
+        contexts=contexts,
+    )
+    for contexts in (1, 2)
+    for style, wires in (
+        ("heterogeneous", "orthogonal"),
+        ("heterogeneous", "diagonal"),
+        ("homogeneous", "orthogonal"),
+        ("homogeneous", "diagonal"),
+    )
+)
+
+
+def build_paper_arch(arch: PaperArch, rows: int = 4, cols: int = 4) -> Module:
+    """Materialize the spatial module for a :class:`PaperArch` column."""
+    return paper_architecture(arch.fb_style, arch.interconnect, rows, cols)

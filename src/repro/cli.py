@@ -1,0 +1,256 @@
+"""Command-line interface: ``repro-cgra`` / ``python -m repro``.
+
+Subcommands:
+
+* ``map`` — map one benchmark onto one architecture and print the result;
+* ``sweep`` — run the Table 2 sweep (optionally also the SA baseline for
+  the Fig. 8 comparison) and render the tables;
+* ``simulate`` — map a benchmark, extract the fabric configuration,
+  execute it cycle by cycle and check against the reference interpreter;
+* ``bench-info`` — print Table 1 (benchmark characteristics);
+* ``arch-info`` — print MRRG statistics for an architecture;
+* ``export-arch`` — emit the ADL XML of a test architecture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .arch.adl import Architecture, serialize_architecture
+from .arch.testsuite import PAPER_ARCHITECTURES, paper_architecture
+from .explore.figures import render_figure8
+from .explore.runner import SweepConfig, build_arch_mrrg, run_sweep
+from .explore.tables import render_table1, render_table2
+from .kernels.registry import BENCHMARK_NAMES, kernel
+from .mapper.ilp_mapper import ILPMapper, ILPMapperOptions
+from .mapper.sa_mapper import SAMapper, SAMapperOptions
+from .mrrg.analysis import stats
+from .mrrg.build import build_mrrg_from_module
+from .mrrg.graph import MRRG
+from .mrrg.analysis import prune
+
+
+def _add_arch_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--style",
+        choices=("homogeneous", "heterogeneous"),
+        default="homogeneous",
+        help="functional-block style",
+    )
+    parser.add_argument(
+        "--interconnect",
+        choices=("orthogonal", "diagonal"),
+        default="orthogonal",
+        help="interconnect style",
+    )
+    parser.add_argument("--contexts", type=int, default=1, help="execution contexts (II)")
+    parser.add_argument("--rows", type=int, default=4)
+    parser.add_argument("--cols", type=int, default=4)
+
+
+def _build_mrrg(args) -> MRRG:
+    top = paper_architecture(
+        args.style, args.interconnect, rows=args.rows, cols=args.cols
+    )
+    return prune(build_mrrg_from_module(top, args.contexts))
+
+
+def _cmd_map(args) -> int:
+    dfg = kernel(args.benchmark)
+    mrrg = _build_mrrg(args)
+    if args.mapper == "sa":
+        mapper = SAMapper(SAMapperOptions(time_limit=args.time_limit, seed=args.seed))
+    else:
+        mapper = ILPMapper(
+            ILPMapperOptions(
+                backend=args.backend,
+                time_limit=args.time_limit,
+                mip_rel_gap=None if args.optimal else 1.0,
+            )
+        )
+    result = mapper.map(dfg, mrrg)
+    print(
+        f"{args.benchmark} on {args.style}/{args.interconnect} "
+        f"(II={args.contexts}): {result.status.value}"
+    )
+    if result.objective is not None:
+        optimality = "optimal" if result.proven_optimal else "feasible"
+        print(f"routing cost: {result.objective:.0f} ({optimality})")
+    print(f"time: {result.total_time:.2f}s")
+    if result.detail:
+        print(f"detail: {result.detail}")
+    if result.mapping is not None and args.verbose:
+        from .explore.floorplan import render_floorplan
+
+        print()
+        print(render_floorplan(result.mapping))
+        print(result.mapping.to_text())
+    return 0 if result.status.name in ("MAPPED", "INFEASIBLE") else 1
+
+
+def _cmd_sweep(args) -> int:
+    architectures = [
+        arch
+        for arch in PAPER_ARCHITECTURES
+        if args.contexts is None or arch.contexts == args.contexts
+    ]
+    benchmarks = args.benchmarks or list(BENCHMARK_NAMES)
+
+    def progress(record):
+        print(
+            f"  {record.mapper:>3} {record.benchmark:<14} {record.arch_key:<18} "
+            f"{record.status.table2_symbol}  {record.total_time:6.1f}s",
+            file=sys.stderr,
+        )
+
+    config = SweepConfig(
+        benchmarks=benchmarks,
+        architectures=architectures,
+        time_limit=args.time_limit,
+        rows=args.rows,
+        cols=args.cols,
+        progress=progress if args.verbose else None,
+    )
+    mrrgs = {a.key: build_arch_mrrg(a, args.rows, args.cols) for a in architectures}
+    ilp_records = run_sweep(config, mapper_name="ilp", mrrgs=mrrgs)
+    print(render_table2(ilp_records, architectures))
+    if args.with_sa:
+        sa_records = run_sweep(config, mapper_name="sa", mrrgs=mrrgs)
+        print(render_figure8(ilp_records, sa_records, architectures))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    import random
+
+    from .dfg.eval import Environment, evaluate
+    from .dfg.opcodes import OpCode
+    from .mapper.simulate import SimulationError, simulate_mapping
+
+    dfg = kernel(args.benchmark)
+    mrrg = _build_mrrg(args)
+    result = ILPMapper(ILPMapperOptions(time_limit=args.time_limit)).map(dfg, mrrg)
+    print(f"mapping: {result.status.value}")
+    if result.mapping is None:
+        return 1
+
+    rng = random.Random(args.seed)
+    env = Environment(
+        inputs={
+            op.name: rng.randrange(1, 100)
+            for op in dfg.ops_by_opcode(OpCode.INPUT)
+        },
+        constants={
+            op.name: rng.randrange(1, 8)
+            for op in dfg.ops_by_opcode(OpCode.CONST)
+        },
+        load_streams={
+            op.name: [rng.randrange(1, 100) for _ in range(4)]
+            for op in dfg.ops_by_opcode(OpCode.LOAD)
+        },
+    )
+    expected = evaluate(dfg, env, iterations=3)
+    try:
+        trace = simulate_mapping(result.mapping, env)
+    except SimulationError as exc:
+        print(f"simulation rejected the configuration: {exc}")
+        return 1
+    ok = True
+    for sink, values in expected.outputs.items():
+        observed = trace.last(sink)
+        match = observed in values or observed == values[0]
+        ok &= match
+        print(f"  {sink}: interpreter={values}  fabric={observed} "
+              f"{'OK' if match else 'MISMATCH'}")
+    for sink, values in expected.stores.items():
+        observed = trace.last(sink)
+        match = observed in values or observed == values[0]
+        ok &= match
+        print(f"  {sink}: interpreter={values}  fabric={observed} "
+              f"{'OK' if match else 'MISMATCH'}")
+    print("fabric simulation matches the reference interpreter"
+          if ok else "MISMATCH between fabric and interpreter")
+    return 0 if ok else 1
+
+
+def _cmd_bench_info(args) -> int:
+    print(render_table1(), end="")
+    return 0
+
+
+def _cmd_arch_info(args) -> int:
+    mrrg = _build_mrrg(args)
+    print(stats(mrrg))
+    return 0
+
+
+def _cmd_export_arch(args) -> int:
+    top = paper_architecture(
+        args.style, args.interconnect, rows=args.rows, cols=args.cols
+    )
+    print(serialize_architecture(Architecture.from_top(top)), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cgra",
+        description="Architecture-agnostic ILP CGRA mapping (DAC'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="map a benchmark onto an architecture")
+    p_map.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    _add_arch_args(p_map)
+    p_map.add_argument("--mapper", choices=("ilp", "sa"), default="ilp")
+    p_map.add_argument("--backend", choices=("highs", "bnb"), default="highs")
+    p_map.add_argument("--time-limit", type=float, default=120.0)
+    p_map.add_argument("--optimal", action="store_true",
+                       help="prove routing-cost optimality (not just feasibility)")
+    p_map.add_argument("--seed", type=int, default=1, help="SA seed")
+    p_map.add_argument("-v", "--verbose", action="store_true")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_sweep = sub.add_parser("sweep", help="run the Table 2 / Fig. 8 sweep")
+    p_sweep.add_argument("--benchmarks", nargs="*", choices=BENCHMARK_NAMES)
+    p_sweep.add_argument("--contexts", type=int, choices=(1, 2), default=None)
+    p_sweep.add_argument("--rows", type=int, default=4)
+    p_sweep.add_argument("--cols", type=int, default=4)
+    p_sweep.add_argument("--time-limit", type=float, default=120.0)
+    p_sweep.add_argument("--with-sa", action="store_true",
+                         help="also run the SA baseline (Fig. 8)")
+    p_sweep.add_argument("-v", "--verbose", action="store_true")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_sim = sub.add_parser(
+        "simulate",
+        help="map a benchmark, execute the configuration, check results",
+    )
+    p_sim.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    _add_arch_args(p_sim)
+    p_sim.add_argument("--time-limit", type=float, default=120.0)
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_bench = sub.add_parser("bench-info", help="print Table 1")
+    p_bench.set_defaults(func=_cmd_bench_info)
+
+    p_arch = sub.add_parser("arch-info", help="print MRRG statistics")
+    _add_arch_args(p_arch)
+    p_arch.set_defaults(func=_cmd_arch_info)
+
+    p_export = sub.add_parser("export-arch", help="emit architecture ADL XML")
+    _add_arch_args(p_export)
+    p_export.set_defaults(func=_cmd_export_arch)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

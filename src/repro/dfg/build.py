@@ -1,0 +1,165 @@
+"""Fluent builder API for constructing DFGs.
+
+The builder auto-generates operation names, connects operands at creation
+time and supports back-edges via :meth:`DFGBuilder.connect_back` for
+loop-carried dependencies (e.g. accumulators)::
+
+    b = DFGBuilder("mac")
+    x, y = b.input("x"), b.input("y")
+    acc = b.add(b.mul(x, y), placeholder := b.defer())
+    b.bind_back(placeholder, acc)
+    b.output(acc)
+    dfg = b.build()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from .graph import DFG, DFGError
+from .opcodes import OpCode
+
+
+@dataclasses.dataclass(frozen=True)
+class Ref:
+    """Handle to a value-producing operation inside a builder."""
+
+    name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Deferred:
+    """Placeholder operand to be bound later (used for back-edges)."""
+
+    token: int
+
+
+class DFGBuilder:
+    """Incrementally builds a :class:`~repro.dfg.graph.DFG`."""
+
+    def __init__(self, name: str = "dfg"):
+        self._dfg = DFG(name)
+        self._counter = itertools.count()
+        self._deferred = itertools.count()
+        # deferred token -> list of (consumer op, operand index)
+        self._pending: dict[int, list[tuple[str, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # op creation
+    # ------------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        while True:
+            name = f"{prefix}{next(self._counter)}"
+            if name not in self._dfg:
+                return name
+
+    def op(self, opcode: OpCode | str, *operands: Ref | Deferred, name: str | None = None) -> Ref:
+        """Add an operation, connecting ``operands`` in order.
+
+        Args:
+            opcode: operation kind or mnemonic.
+            operands: one handle (or deferred placeholder) per operand slot.
+            name: explicit op name; auto-generated from the mnemonic if None.
+
+        Returns:
+            A handle to the new op (usable even for sink ops for naming).
+        """
+        if isinstance(opcode, str):
+            opcode = OpCode.from_name(opcode)
+        if len(operands) != opcode.arity:
+            raise DFGError(
+                f"{opcode} expects {opcode.arity} operand(s), got {len(operands)}"
+            )
+        op_name = name or self._fresh(opcode.value)
+        self._dfg.add_op(op_name, opcode)
+        for idx, operand in enumerate(operands):
+            if isinstance(operand, Deferred):
+                self._pending.setdefault(operand.token, []).append((op_name, idx))
+            else:
+                self._dfg.connect(operand.name, op_name, idx)
+        return Ref(op_name)
+
+    # Convenience constructors -----------------------------------------
+    def input(self, name: str | None = None) -> Ref:
+        return self.op(OpCode.INPUT, name=name)
+
+    def const(self, name: str | None = None) -> Ref:
+        return self.op(OpCode.CONST, name=name)
+
+    def load(self, name: str | None = None) -> Ref:
+        return self.op(OpCode.LOAD, name=name)
+
+    def output(self, src: Ref, name: str | None = None) -> Ref:
+        return self.op(OpCode.OUTPUT, src, name=name)
+
+    def store(self, src: Ref, name: str | None = None) -> Ref:
+        return self.op(OpCode.STORE, src, name=name)
+
+    def add(self, a: Ref | Deferred, b: Ref | Deferred, name: str | None = None) -> Ref:
+        return self.op(OpCode.ADD, a, b, name=name)
+
+    def sub(self, a: Ref | Deferred, b: Ref | Deferred, name: str | None = None) -> Ref:
+        return self.op(OpCode.SUB, a, b, name=name)
+
+    def mul(self, a: Ref | Deferred, b: Ref | Deferred, name: str | None = None) -> Ref:
+        return self.op(OpCode.MUL, a, b, name=name)
+
+    def shl(self, a: Ref | Deferred, b: Ref | Deferred, name: str | None = None) -> Ref:
+        return self.op(OpCode.SHL, a, b, name=name)
+
+    def shr(self, a: Ref | Deferred, b: Ref | Deferred, name: str | None = None) -> Ref:
+        return self.op(OpCode.SHR, a, b, name=name)
+
+    # ------------------------------------------------------------------
+    # back-edges
+    # ------------------------------------------------------------------
+    def defer(self) -> Deferred:
+        """Create a placeholder operand to bind later with :meth:`bind_back`."""
+        return Deferred(next(self._deferred))
+
+    def bind_back(self, placeholder: Deferred, producer: Ref) -> None:
+        """Bind a deferred operand to ``producer`` via a back-edge."""
+        uses = self._pending.pop(placeholder.token, None)
+        if uses is None:
+            raise DFGError("placeholder is unused or already bound")
+        for consumer, operand in uses:
+            self._dfg.connect(producer.name, consumer, operand, back=True)
+
+    def connect_back(self, src: Ref, dst: Ref, operand: int) -> None:
+        """Directly add a loop-carried edge between two existing ops."""
+        self._dfg.connect(src.name, dst.name, operand, back=True)
+
+    # ------------------------------------------------------------------
+    def reduce(self, opcode: OpCode | str, refs: list[Ref], name_prefix: str | None = None) -> Ref:
+        """Combine values with a balanced binary tree of ``opcode`` ops.
+
+        Args:
+            opcode: a binary operation (e.g. ADD for an adder tree).
+            refs: at least one value handle.
+
+        Returns:
+            The root of the reduction tree (``refs[0]`` if singleton).
+        """
+        if not refs:
+            raise DFGError("reduce() needs at least one value")
+        level = list(refs)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.op(opcode, level[i], level[i + 1],
+                                   name=self._fresh(name_prefix) if name_prefix else None))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def build(self) -> DFG:
+        """Finalize and return the DFG.
+
+        Raises:
+            DFGError: if any deferred placeholder was never bound.
+        """
+        if self._pending:
+            raise DFGError(f"{len(self._pending)} deferred operand(s) never bound")
+        return self._dfg

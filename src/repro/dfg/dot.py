@@ -1,0 +1,30 @@
+"""Graphviz (DOT) export for DFGs."""
+
+from __future__ import annotations
+
+from .graph import DFG
+from .opcodes import OpCode
+
+_SHAPES = {
+    OpCode.INPUT: "invtriangle",
+    OpCode.OUTPUT: "triangle",
+    OpCode.LOAD: "house",
+    OpCode.STORE: "invhouse",
+    OpCode.CONST: "diamond",
+}
+
+
+def to_dot(dfg: DFG) -> str:
+    """Render a DFG as a DOT digraph (back-edges dashed)."""
+    lines = [f'digraph "{dfg.name}" {{', "  rankdir=TB;"]
+    for op in dfg.ops:
+        shape = _SHAPES.get(op.opcode, "box")
+        label = f"{op.name}\\n{op.opcode.value}"
+        lines.append(f'  "{op.name}" [shape={shape}, label="{label}"];')
+    for edge in dfg.edges():
+        style = ', style=dashed, constraint=false' if edge.back else ""
+        lines.append(
+            f'  "{edge.src}" -> "{edge.dst}" [label="{edge.operand}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,126 @@
+"""Text format for DFGs.
+
+Grammar (one statement per line; ``#`` starts a comment)::
+
+    dfg "<name>"
+    <op> = <opcode> [operand ...]
+
+An operand is the name of a producing op; prefixing it with ``^`` marks the
+edge as a loop-carried back-edge.  Forward references are allowed, so a
+back-edge can reference an op defined later in the file.
+
+Example::
+
+    dfg "accum"
+    x = input
+    m = mul x x
+    acc = add m ^acc
+    o = output acc
+
+:func:`parse` and :func:`serialize` round-trip (structural equality).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .graph import DFG, DFGError
+from .opcodes import OpCode
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+class DFGParseError(ValueError):
+    """Raised on malformed DFG text, with a 1-based line number."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def parse(text: str) -> DFG:
+    """Parse DFG text into a :class:`~repro.dfg.graph.DFG`."""
+    dfg: DFG | None = None
+    # (line_no, src, dst, operand, back) connections deferred until all ops exist.
+    pending: list[tuple[int, str, str, int, bool]] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("dfg"):
+            if dfg is not None:
+                raise DFGParseError(line_no, "duplicate 'dfg' header")
+            match = re.fullmatch(r'dfg\s+"([^"]+)"', line)
+            if not match:
+                raise DFGParseError(line_no, 'expected: dfg "<name>"')
+            dfg = DFG(match.group(1))
+            continue
+        if dfg is None:
+            raise DFGParseError(line_no, 'file must start with: dfg "<name>"')
+        if "=" not in line:
+            raise DFGParseError(line_no, "expected: <op> = <opcode> [operands]")
+        lhs, rhs = (part.strip() for part in line.split("=", 1))
+        if not _NAME_RE.match(lhs):
+            raise DFGParseError(line_no, f"invalid op name {lhs!r}")
+        tokens = rhs.split()
+        if not tokens:
+            raise DFGParseError(line_no, "missing opcode")
+        try:
+            opcode = OpCode.from_name(tokens[0])
+        except ValueError as exc:
+            raise DFGParseError(line_no, str(exc)) from None
+        operands = tokens[1:]
+        if len(operands) != opcode.arity:
+            raise DFGParseError(
+                line_no,
+                f"{opcode} expects {opcode.arity} operand(s), got {len(operands)}",
+            )
+        try:
+            dfg.add_op(lhs, opcode)
+        except DFGError as exc:
+            raise DFGParseError(line_no, str(exc)) from None
+        for idx, operand in enumerate(operands):
+            back = operand.startswith("^")
+            src = operand[1:] if back else operand
+            if not _NAME_RE.match(src):
+                raise DFGParseError(line_no, f"invalid operand name {operand!r}")
+            pending.append((line_no, src, lhs, idx, back))
+
+    if dfg is None:
+        raise DFGParseError(1, "empty input: missing 'dfg' header")
+    for line_no, src, dst, operand, back in pending:
+        try:
+            dfg.connect(src, dst, operand, back=back)
+        except DFGError as exc:
+            raise DFGParseError(line_no, str(exc)) from None
+    return dfg
+
+
+def serialize(dfg: DFG) -> str:
+    """Render a DFG in the textual format accepted by :func:`parse`."""
+    lines = [f'dfg "{dfg.name}"']
+    for op in dfg.ops:
+        parts = [op.name, "=", op.opcode.value]
+        for idx, producer in enumerate(op.operands):
+            if producer is None:
+                raise DFGError(
+                    f"cannot serialize {dfg.name!r}: operand {idx} of "
+                    f"{op.name!r} is unconnected"
+                )
+            prefix = "^" if op.operand_is_back_edge(idx) else ""
+            parts.append(prefix + producer)
+        lines.append(" ".join(parts))
+    return "\n".join(lines) + "\n"
+
+
+def load(path: str) -> DFG:
+    """Parse a DFG from a file path."""
+    with open(path, encoding="utf-8") as handle:
+        return parse(handle.read())
+
+
+def save(dfg: DFG, path: str) -> None:
+    """Serialize a DFG to a file path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize(dfg))

@@ -1,0 +1,231 @@
+"""DFG optimization passes.
+
+The paper's benchmarks are "LLVM compiled DFGs" and several of them
+visibly lack common-subexpression elimination (powers of x recomputed per
+term).  These passes let users study how front-end optimization changes
+mappability — fewer operations map onto smaller/less flexible fabrics,
+but more value fanout stresses routing:
+
+* :func:`eliminate_common_subexpressions` — hash-cons identical ops
+  (commutative-aware);
+* :func:`eliminate_dead_code` — drop ops whose values never reach a sink;
+* :func:`simplify_algebraic` — constant-free strength reductions
+  (``x - x -> 0`` is *not* folded since we keep graphs constant-free;
+  currently: ``x op x`` normalization hooks for CSE, identity removal of
+  double-NOT);
+* :func:`rebalance_reductions` — turn chains of a commutative op into
+  balanced trees (reduces depth, often helping routing-limited fabrics).
+
+Passes return new DFGs; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from .graph import DFG
+from .opcodes import OpCode
+
+
+def eliminate_common_subexpressions(dfg: DFG) -> DFG:
+    """Merge structurally identical operations (CSE).
+
+    Two ops are identical when they share an opcode and (canonicalized
+    for commutative opcodes) the same already-merged operands, with
+    matching back-edge flags.  Source ops (INPUT/CONST/LOAD) and sink ops
+    are never merged — distinct I/O or memory accesses stay distinct.
+    Back-edge operands are conservatively excluded from merging keys
+    (loop-carried state is kept unique).
+    """
+    result = DFG(dfg.name)
+    replacement: dict[str, str] = {}
+    seen: dict[tuple, str] = {}
+
+    for op in dfg.ops:
+        operands = []
+        mergeable = op.opcode.arity > 0 and op.opcode.produces_value
+        for idx, producer in enumerate(op.operands):
+            assert producer is not None
+            operands.append(
+                (replacement.get(producer, producer), op.operand_is_back_edge(idx))
+            )
+            if op.operand_is_back_edge(idx):
+                mergeable = False
+        if not op.opcode.arity or not op.opcode.produces_value:
+            mergeable = False
+
+        if mergeable:
+            key_operands = tuple(operands)
+            if op.opcode.is_commutative:
+                key_operands = tuple(sorted(key_operands))
+            key = (op.opcode, key_operands)
+            if key in seen:
+                replacement[op.name] = seen[key]
+                continue
+            seen[key] = op.name
+
+        result.add_op(op.name, op.opcode)
+        for idx, (producer, back) in enumerate(operands):
+            result.connect(producer, op.name, idx, back=back)
+    return result
+
+
+def eliminate_dead_code(dfg: DFG) -> DFG:
+    """Remove ops that cannot reach any OUTPUT/STORE sink."""
+    live: set[str] = set()
+    frontier = [
+        op.name for op in dfg.ops if op.opcode in (OpCode.OUTPUT, OpCode.STORE)
+    ]
+    while frontier:
+        name = frontier.pop()
+        if name in live:
+            continue
+        live.add(name)
+        for producer in dfg.op(name).operands:
+            if producer is not None and producer not in live:
+                frontier.append(producer)
+
+    result = DFG(dfg.name)
+    for op in dfg.ops:
+        if op.name in live:
+            result.add_op(op.name, op.opcode)
+    for edge in dfg.edges():
+        if edge.src in live and edge.dst in live:
+            result.connect(edge.src, edge.dst, edge.operand, back=edge.back)
+    return result
+
+
+def simplify_algebraic(dfg: DFG) -> DFG:
+    """Local identity simplifications (currently: NOT(NOT(x)) -> x)."""
+    replacement: dict[str, str] = {}
+    for op in dfg.ops:
+        if op.opcode is not OpCode.NOT:
+            continue
+        inner_name = op.operands[0]
+        if inner_name is None or op.operand_is_back_edge(0):
+            continue
+        inner = dfg.op(inner_name)
+        if inner.opcode is OpCode.NOT and inner.operands[0] is not None:
+            if not inner.operand_is_back_edge(0):
+                replacement[op.name] = inner.operands[0]
+
+    # Resolve replacement chains (NOT of NOT of NOT of NOT ...).
+    def resolve(name: str) -> str:
+        while name in replacement:
+            name = replacement[name]
+        return name
+
+    result = DFG(dfg.name)
+    for op in dfg.ops:
+        if op.name in replacement:
+            continue
+        result.add_op(op.name, op.opcode)
+    for edge in dfg.edges():
+        if edge.dst in replacement:
+            continue
+        result.connect(resolve(edge.src), edge.dst, edge.operand, back=edge.back)
+    return eliminate_dead_code(result)
+
+
+def rebalance_reductions(dfg: DFG) -> DFG:
+    """Rebalance single-use chains of a commutative op into trees.
+
+    A chain ``(((a+b)+c)+d)`` of depth 3 becomes ``(a+b)+(c+d)`` of depth
+    2.  Only chains whose intermediate values have exactly one consumer
+    and no back-edges are touched (rebalancing a multi-use value would
+    change observable fanout).
+    """
+    consumer_edges: dict[str, list] = {}
+    for edge in dfg.edges():
+        consumer_edges.setdefault(edge.src, []).append(edge)
+
+    def is_chain_op(name: str, opcode: OpCode) -> bool:
+        op = dfg.op(name)
+        if op.opcode is not opcode or not opcode.is_commutative:
+            return False
+        return not any(
+            op.operand_is_back_edge(i) for i in range(op.opcode.arity)
+        )
+
+    def absorbable_into(child: str, parent_opcode: OpCode) -> bool:
+        """Whether ``child`` can be folded into its (sole) consumer."""
+        if not is_chain_op(child, parent_opcode):
+            return False
+        uses = consumer_edges.get(child, [])
+        return len(uses) == 1 and not uses[0].back
+
+    # A chain root is a chain op that is itself *not* absorbable into its
+    # consumer; each root absorbs its maximal single-use subtree.
+    absorbed: set[str] = set()
+    rebuilt_roots: dict[str, list[str]] = {}
+    for op in dfg.ops:
+        if not op.opcode.is_commutative or op.opcode.arity != 2:
+            continue
+        if not is_chain_op(op.name, op.opcode):
+            continue
+        uses = consumer_edges.get(op.name, [])
+        parent_is_chain = (
+            len(uses) == 1
+            and not uses[0].back
+            and is_chain_op(uses[0].dst, op.opcode)
+        )
+        if parent_is_chain:
+            continue  # not a root; some ancestor will absorb it
+        leaves: list[str] = []
+        members: list[str] = []
+        stack = [op.name]
+        while stack:
+            current = stack.pop()
+            if current != op.name and not absorbable_into(current, op.opcode):
+                leaves.append(current)
+                continue
+            members.append(current)
+            for producer in dfg.op(current).operands:
+                assert producer is not None
+                stack.append(producer)
+        if len(members) < 3:
+            continue  # nothing to gain below three chained ops
+        absorbed.update(members)
+        absorbed.discard(op.name)
+        rebuilt_roots[op.name] = leaves
+
+    if not rebuilt_roots:
+        return dfg.copy()
+
+    result = DFG(dfg.name)
+    for op in dfg.ops:
+        if op.name in absorbed:
+            continue
+        result.add_op(op.name, op.opcode)
+    fresh = 0
+    for edge in dfg.edges():
+        if edge.dst in absorbed or edge.dst in rebuilt_roots:
+            continue
+        if edge.src in absorbed:
+            continue
+        result.connect(edge.src, edge.dst, edge.operand, back=edge.back)
+    for root, leaves in rebuilt_roots.items():
+        opcode = dfg.op(root).opcode
+        level = list(reversed(leaves))
+        while len(level) > 2:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                name = f"{root}__bal{fresh}"
+                fresh += 1
+                result.add_op(name, opcode)
+                result.connect(level[i], name, 0)
+                result.connect(level[i + 1], name, 1)
+                nxt.append(name)
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        result.connect(level[0], root, 0)
+        result.connect(level[1], root, 1)
+    return result
+
+
+def optimize(dfg: DFG) -> DFG:
+    """The standard pipeline: simplify, CSE, DCE, rebalance."""
+    return rebalance_reductions(
+        eliminate_dead_code(
+            eliminate_common_subexpressions(simplify_algebraic(dfg))
+        )
+    )

@@ -1,0 +1,80 @@
+"""Structural validation of DFGs.
+
+A DFG is mappable only if it is *well-formed*:
+
+* every operand slot of every op is connected;
+* the graph restricted to forward (non-back) edges is acyclic;
+* every produced value is consumed by at least one sink (a dangling value
+  has no routing obligation and usually indicates a benchmark bug);
+* sink ops (OUTPUT/STORE) terminate chains.
+
+:func:`check` returns a list of human-readable issues; :func:`assert_valid`
+raises on the first problem.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .graph import DFG
+
+
+class DFGValidationError(ValueError):
+    """Raised by :func:`assert_valid` when a DFG is not well-formed."""
+
+    def __init__(self, issues: list[str]):
+        super().__init__("; ".join(issues))
+        self.issues = issues
+
+
+def check(dfg: DFG, allow_dangling: bool = False) -> list[str]:
+    """Collect structural problems of ``dfg`` (empty list = valid).
+
+    Args:
+        dfg: graph to check.
+        allow_dangling: skip the produced-but-unused value check (useful
+            while a graph is under construction).
+    """
+    issues: list[str] = []
+    if len(dfg) == 0:
+        issues.append("DFG has no operations")
+        return issues
+
+    consumed: set[str] = set()
+    for op in dfg.ops:
+        for idx, producer in enumerate(op.operands):
+            if producer is None:
+                issues.append(f"operand {idx} of {op.name!r} is unconnected")
+            else:
+                consumed.add(producer)
+
+    if not allow_dangling:
+        for op in dfg.ops:
+            if op.opcode.produces_value and op.name not in consumed:
+                issues.append(f"value of {op.name!r} is never consumed")
+
+    forward = dfg.to_networkx(include_back_edges=False)
+    if not nx.is_directed_acyclic_graph(forward):
+        cycle = nx.find_cycle(forward)
+        path = " -> ".join(edge[0] for edge in cycle) + f" -> {cycle[-1][1]}"
+        issues.append(f"forward-edge cycle (missing back-edge flag?): {path}")
+
+    for op in dfg.ops:
+        for idx, producer in enumerate(op.operands):
+            if producer is not None and op.operand_is_back_edge(idx):
+                # A back-edge must actually close a cycle; otherwise the flag
+                # needlessly weakens validation.
+                if producer not in nx.ancestors(forward, op.name) and producer != op.name:
+                    if not nx.has_path(forward, op.name, producer):
+                        issues.append(
+                            f"back-edge {producer!r} -> {op.name!r} does not "
+                            "close a forward path"
+                        )
+    return issues
+
+
+def assert_valid(dfg: DFG, allow_dangling: bool = False) -> None:
+    """Raise :class:`DFGValidationError` if ``dfg`` is not well-formed."""
+    issues = check(dfg, allow_dangling=allow_dangling)
+    if issues:
+        raise DFGValidationError(issues)

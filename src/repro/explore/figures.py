@@ -1,0 +1,50 @@
+"""Text renderers for the paper's result figure (Fig. 8)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..arch.testsuite import PAPER_ARCHITECTURES, PaperArch
+from .records import RunRecord
+from .runner import feasible_counts
+
+
+def figure8_series(
+    ilp_records: Iterable[RunRecord],
+    sa_records: Iterable[RunRecord],
+    architectures: Sequence[PaperArch] = PAPER_ARCHITECTURES,
+) -> list[tuple[str, int, int]]:
+    """Fig. 8's data: (architecture, SA feasible count, ILP feasible count)."""
+    ilp = feasible_counts(ilp_records)
+    sa = feasible_counts(sa_records)
+    return [
+        (arch.key, sa.get(arch.key, 0), ilp.get(arch.key, 0))
+        for arch in architectures
+    ]
+
+
+def render_figure8(
+    ilp_records: Iterable[RunRecord],
+    sa_records: Iterable[RunRecord],
+    architectures: Sequence[PaperArch] = PAPER_ARCHITECTURES,
+    width: int = 40,
+) -> str:
+    """ASCII bar chart: SA vs ILP feasible-mapping counts per architecture.
+
+    The paper's headline: "the ILP mapper is able to find more mapping
+    solutions for all eight architectures".
+    """
+    series = figure8_series(ilp_records, sa_records, architectures)
+    total = max((max(sa, ilp) for _, sa, ilp in series), default=1) or 1
+    lines = ["Simulated Annealing vs ILP mapper (feasible mappings found)", ""]
+    for key, sa, ilp in series:
+        sa_bar = "#" * round(width * sa / total)
+        ilp_bar = "#" * round(width * ilp / total)
+        lines.append(f"{key:<18} SA  |{sa_bar:<{width}}| {sa:>2}")
+        lines.append(f"{'':<18} ILP |{ilp_bar:<{width}}| {ilp:>2}")
+        lines.append("")
+    dominated = all(ilp >= sa for _, sa, ilp in series)
+    lines.append(
+        "ILP >= SA on every architecture: " + ("yes" if dominated else "NO")
+    )
+    return "\n".join(lines) + "\n"

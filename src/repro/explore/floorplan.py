@@ -1,0 +1,86 @@
+"""ASCII floorplan rendering of mappings on grid architectures.
+
+Renders a :class:`~repro.mapper.mapping.Mapping` whose MRRG came from a
+``repro.arch.grid`` fabric as a per-context floorplan: the 2D array of
+functional blocks with the operation each hosts, the per-row memory
+ports, and the peripheral I/O pads.  Purely presentational — handy in
+examples and for debugging placements.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+
+from ..mapper.mapping import Mapping
+
+_FB_RE = re.compile(r"^fb_(\d+)_(\d+)$")
+_IO_RE = re.compile(r"^io_([nswe])_(\d+)$")
+_MEM_RE = re.compile(r"^mem_(\d+)$")
+
+
+def _block_of(path: str) -> str:
+    """Top-level instance name of a primitive path ('fb_0_1/alu' -> 'fb_0_1')."""
+    return path.split("/", 1)[0]
+
+
+def render_floorplan(mapping: Mapping, cell_width: int = 11) -> str:
+    """Render the mapping as one ASCII grid per context."""
+    mrrg = mapping.mrrg
+    # Grid extent comes from the fabric itself, not from the placement.
+    rows = cols = 0
+    for node in mrrg.nodes:
+        match = _FB_RE.match(_block_of(node.path))
+        if match:
+            rows = max(rows, int(match.group(1)) + 1)
+            cols = max(cols, int(match.group(2)) + 1)
+    # (context, block instance) -> op label
+    labels: dict[tuple[int, str], str] = {}
+    for op_name, fu_id in mapping.placement.items():
+        node = mrrg.node(fu_id)
+        block = _block_of(node.path)
+        opcode = mapping.dfg.op(op_name).opcode.value
+        labels[(node.context, block)] = f"{opcode}:{op_name}"[: cell_width - 2]
+    # Relay blocks: route-through usage without a hosted op.
+    relays: dict[tuple[int, str], set[str]] = defaultdict(set)
+    for node_id in mapping.route_nodes_used():
+        node = mrrg.node(node_id)
+        block = _block_of(node.path)
+        if _FB_RE.match(block) and "mux" in node.tag:
+            relays[(node.context, block)].add(block)
+
+    if rows == 0 or cols == 0:
+        # Not a grid fabric: fall back to a flat placement list.
+        return mapping.to_text()
+
+    out: list[str] = []
+    for ctx in range(mrrg.ii):
+        out.append(f"context {ctx}:")
+        north = [
+            _pad(labels.get((ctx, f"io_n_{c}"), ""), cell_width)
+            for c in range(cols)
+        ]
+        out.append(" " * (cell_width + 1) + " ".join(north))
+        for r in range(rows):
+            west = _pad(labels.get((ctx, f"io_w_{r}"), ""), cell_width)
+            cells = []
+            for c in range(cols):
+                block = f"fb_{r}_{c}"
+                label = labels.get((ctx, block))
+                if label is None:
+                    label = "~route~" if (ctx, block) in relays else "."
+                cells.append(_pad(label, cell_width))
+            east = _pad(labels.get((ctx, f"io_e_{r}"), ""), cell_width)
+            mem = _pad(labels.get((ctx, f"mem_{r}"), ""), cell_width)
+            out.append(f"{west} " + " ".join(cells) + f" {east}  |{mem}")
+        south = [
+            _pad(labels.get((ctx, f"io_s_{c}"), ""), cell_width)
+            for c in range(cols)
+        ]
+        out.append(" " * (cell_width + 1) + " ".join(south))
+        out.append("")
+    return "\n".join(out)
+
+
+def _pad(text: str, width: int) -> str:
+    return f"[{text:^{width - 2}}]" if text else " " * width

@@ -1,0 +1,151 @@
+"""Sweep runner: maps benchmarks across architectures (the Fig. 7 flow).
+
+The runner materializes each architecture, generates its MRRG for the
+requested context count, runs a mapper per benchmark and collects
+:class:`~repro.explore.records.RunRecord` rows, from which the Table 2
+matrix and the Fig. 8 comparison are rendered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable, Sequence
+
+from ..arch.testsuite import PAPER_ARCHITECTURES, PaperArch, build_paper_arch
+from ..dfg.graph import DFG
+from ..kernels.registry import BENCHMARK_NAMES, kernel
+from ..mapper.base import Mapper
+from ..mapper.greedy_mapper import GreedyMapper, GreedyMapperOptions
+from ..mapper.ilp_mapper import ILPMapper, ILPMapperOptions
+from ..mapper.sa_mapper import SAMapper, SAMapperOptions
+from ..mrrg.analysis import prune
+from ..mrrg.build import build_mrrg_from_module
+from ..mrrg.graph import MRRG
+from .records import RunRecord
+
+
+@dataclasses.dataclass
+class SweepConfig:
+    """What to sweep and with which budgets.
+
+    Attributes:
+        benchmarks: benchmark names (default: all of Table 1).
+        architectures: architecture columns (default: all 8 of Table 2).
+        time_limit: per-instance solver budget in seconds.
+        rows/cols: grid size of the materialized architectures.
+        feasibility_only: solve with a unit gap — stop at the first
+            incumbent, which is what Table 2 needs.
+        progress: optional callback invoked with each finished record.
+    """
+
+    benchmarks: Sequence[str] = BENCHMARK_NAMES
+    architectures: Sequence[PaperArch] = PAPER_ARCHITECTURES
+    time_limit: float | None = 120.0
+    rows: int = 4
+    cols: int = 4
+    feasibility_only: bool = True
+    progress: Callable[[RunRecord], None] | None = None
+
+
+def build_arch_mrrg(arch: PaperArch, rows: int = 4, cols: int = 4) -> MRRG:
+    """Materialize one Table 2 architecture column as a pruned MRRG."""
+    top = build_paper_arch(arch, rows=rows, cols=cols)
+    return prune(build_mrrg_from_module(top, arch.contexts, name=arch.key))
+
+
+def default_ilp_mapper(config: SweepConfig) -> ILPMapper:
+    return ILPMapper(
+        ILPMapperOptions(
+            time_limit=config.time_limit,
+            mip_rel_gap=1.0 if config.feasibility_only else None,
+        )
+    )
+
+
+def default_sa_mapper(config: SweepConfig) -> SAMapper:
+    # "Moderate parameters" per the paper's SA baseline.
+    return SAMapper(
+        SAMapperOptions(
+            seed=7,
+            time_limit=config.time_limit,
+            restarts=2,
+        )
+    )
+
+
+def default_greedy_mapper(config: SweepConfig) -> GreedyMapper:
+    return GreedyMapper(
+        GreedyMapperOptions(seed=7, restarts=6, time_limit=config.time_limit)
+    )
+
+
+def run_sweep(
+    config: SweepConfig | None = None,
+    mapper_factory: Callable[[SweepConfig], Mapper] | None = None,
+    mapper_name: str = "ilp",
+    mrrgs: dict[str, MRRG] | None = None,
+    dfgs: dict[str, DFG] | None = None,
+) -> list[RunRecord]:
+    """Run one mapper over the benchmark x architecture grid.
+
+    Args:
+        config: sweep configuration (defaults reproduce Table 2's grid).
+        mapper_factory: builds the mapper (defaults to the ILP mapper in
+            feasibility mode).
+        mapper_name: tag stored in each record ("ilp"/"sa").
+        mrrgs: pre-built MRRGs keyed by architecture key (built on demand
+            otherwise; pass them to share across ILP and SA sweeps).
+        dfgs: pre-built DFGs keyed by benchmark name.
+
+    Returns:
+        One record per (benchmark, architecture) cell, row-major in
+        benchmark order.
+    """
+    config = config or SweepConfig()
+    if mapper_factory is None:
+        factory = {
+            "sa": default_sa_mapper,
+            "greedy": default_greedy_mapper,
+        }.get(mapper_name, default_ilp_mapper)
+    else:
+        factory = mapper_factory
+    mrrgs = mrrgs if mrrgs is not None else {}
+    dfgs = dfgs if dfgs is not None else {}
+
+    records: list[RunRecord] = []
+    for arch in config.architectures:
+        if arch.key not in mrrgs:
+            mrrgs[arch.key] = build_arch_mrrg(arch, config.rows, config.cols)
+        mrrg = mrrgs[arch.key]
+        for name in config.benchmarks:
+            if name not in dfgs:
+                dfgs[name] = kernel(name)
+            mapper = factory(config)
+            result = mapper.map(dfgs[name], mrrg)
+            record = RunRecord.from_result(name, arch.key, mapper_name, result)
+            records.append(record)
+            if config.progress is not None:
+                config.progress(record)
+    return records
+
+
+def compare_mappers(
+    config: SweepConfig | None = None,
+) -> tuple[list[RunRecord], list[RunRecord]]:
+    """Run both mappers over the same grid (Fig. 8's experiment)."""
+    config = config or SweepConfig()
+    mrrgs: dict[str, MRRG] = {}
+    dfgs: dict[str, DFG] = {}
+    ilp = run_sweep(config, mapper_name="ilp", mrrgs=mrrgs, dfgs=dfgs)
+    sa = run_sweep(config, mapper_name="sa", mrrgs=mrrgs, dfgs=dfgs)
+    return ilp, sa
+
+
+def feasible_counts(records: Iterable[RunRecord]) -> dict[str, int]:
+    """Architecture key -> number of feasibly mapped benchmarks."""
+    counts: dict[str, int] = {}
+    for record in records:
+        counts.setdefault(record.arch_key, 0)
+        if record.feasible:
+            counts[record.arch_key] += 1
+    return counts

@@ -1,0 +1,128 @@
+"""Text renderers for the paper's tables."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..arch.testsuite import PAPER_ARCHITECTURES, PaperArch
+from ..dfg.stats import compute
+from ..kernels.registry import BENCHMARK_NAMES, kernel
+from .records import RunRecord
+
+
+def render_table1(names: Sequence[str] = BENCHMARK_NAMES) -> str:
+    """Regenerate Table 1 (benchmark characteristics) as text."""
+    rows = [f"{'Benchmark':<14} {'I/Os':>5} {'Operations':>11} {'# Multiplies':>13}"]
+    rows.append("-" * len(rows[0]))
+    for name in names:
+        stats = compute(kernel(name))
+        rows.append(
+            f"{name:<14} {stats.ios:>5} {stats.internal_ops:>11} "
+            f"{stats.multiplies:>13}"
+        )
+    return "\n".join(rows) + "\n"
+
+
+def table2_matrix(
+    records: Iterable[RunRecord],
+) -> dict[str, dict[str, str]]:
+    """benchmark -> arch key -> Table 2 symbol ("1"/"0"/"T")."""
+    matrix: dict[str, dict[str, str]] = {}
+    for record in records:
+        matrix.setdefault(record.benchmark, {})[record.arch_key] = (
+            record.status.table2_symbol
+        )
+    return matrix
+
+
+def render_table2(
+    records: Iterable[RunRecord],
+    architectures: Sequence[PaperArch] = PAPER_ARCHITECTURES,
+) -> str:
+    """Regenerate Table 2 (mapping results) as text.
+
+    Columns follow the paper's order; the final row is "Total Feasible".
+    """
+    matrix = table2_matrix(records)
+    arch_keys = [arch.key for arch in architectures]
+    header = f"{'Benchmark':<14}" + "".join(f"{key:>18}" for key in arch_keys)
+    rows = [header, "-" * len(header)]
+    benchmarks = [name for name in BENCHMARK_NAMES if name in matrix]
+    for extra in matrix:
+        if extra not in benchmarks:
+            benchmarks.append(extra)
+    for name in benchmarks:
+        cells = [matrix[name].get(key, " ") for key in arch_keys]
+        rows.append(f"{name:<14}" + "".join(f"{cell:>18}" for cell in cells))
+    totals = []
+    for key in arch_keys:
+        total = sum(1 for name in benchmarks if matrix[name].get(key) == "1")
+        totals.append(total)
+    rows.append("-" * len(header))
+    rows.append(f"{'Total Feasible':<14}" + "".join(f"{t:>18}" for t in totals))
+    return "\n".join(rows) + "\n"
+
+
+def total_feasible(
+    records: Iterable[RunRecord],
+    architectures: Sequence[PaperArch] = PAPER_ARCHITECTURES,
+) -> dict[str, int]:
+    """The Table 2 "Total Feasible" row."""
+    totals = {arch.key: 0 for arch in architectures}
+    for record in records:
+        if record.feasible and record.arch_key in totals:
+            totals[record.arch_key] += 1
+    return totals
+
+
+#: The published Table 2 "Total Feasible" row, by architecture key.
+PAPER_TOTAL_FEASIBLE: dict[str, int] = {
+    "hetero_orth_ii1": 5,
+    "hetero_diag_ii1": 9,
+    "homoge_orth_ii1": 6,
+    "homoge_diag_ii1": 15,
+    "hetero_orth_ii2": 18,
+    "hetero_diag_ii2": 19,
+    "homoge_orth_ii2": 18,
+    "homoge_diag_ii2": 19,
+}
+
+#: The published Table 2 cell verdicts: benchmark -> arch key -> symbol.
+PAPER_TABLE2: dict[str, dict[str, str]] = {
+    benchmark: dict(
+        zip(
+            (
+                "hetero_orth_ii1",
+                "hetero_diag_ii1",
+                "homoge_orth_ii1",
+                "homoge_diag_ii1",
+                "hetero_orth_ii2",
+                "hetero_diag_ii2",
+                "homoge_orth_ii2",
+                "homoge_diag_ii2",
+            ),
+            symbols,
+        )
+    )
+    for benchmark, symbols in {
+        "accum": "11111111",
+        "mac": "11111111",
+        "add_10": "11111111",
+        "add_14": "01011111",
+        "add_16": "01011111",
+        "mult_10": "00111111",
+        "mult_14": "00011111",
+        "mult_16": "00011111",
+        "2x2-f": "11111111",
+        "2x2-p": "11111111",
+        "cos_4": "00001111",
+        "cosh_4": "00001111",
+        "exp_4": "01011111",
+        "exp_5": "00011111",
+        "exp_6": "0000T1T1",
+        "sinh_4": "00011111",
+        "tay_4": "01011111",
+        "extreme": "00001111",
+        "weighted_sum": "00011111",
+    }.items()
+}

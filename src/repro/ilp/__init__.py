@@ -1,0 +1,40 @@
+"""Self-contained ILP substrate (modeling layer + exact MILP solvers).
+
+The paper solves its formulation with Gurobi.  This package provides the
+equivalent substrate without external solvers: a modeling layer
+(:class:`Model`, :class:`LinExpr`), a compiler to matrix standard form, a
+HiGHS backend through :func:`scipy.optimize.milp`, and a from-scratch
+branch-and-bound solver for cross-checking and full inspectability.
+"""
+
+from .bnb import solve_bnb
+from .expr import Constraint, LinExpr, Sense, Var, VarType, lin_sum
+from .highs_backend import solve_highs
+from .model import Model, ModelError, ModelStats
+from .presolve import PresolveResult, presolve, solve_with_presolve
+from .solve import BACKENDS, solve
+from .standard_form import StandardForm, compile_model
+from .status import Solution, SolveStatus
+
+__all__ = [
+    "BACKENDS",
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "ModelError",
+    "ModelStats",
+    "PresolveResult",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "StandardForm",
+    "Var",
+    "VarType",
+    "compile_model",
+    "lin_sum",
+    "presolve",
+    "solve",
+    "solve_bnb",
+    "solve_highs",
+    "solve_with_presolve",
+]

@@ -1,0 +1,223 @@
+"""Linear expressions and constraints for the ILP modeling layer.
+
+This is the algebraic core of ``repro.ilp``: decision variables
+(:class:`Var`), affine combinations of them (:class:`LinExpr`) and linear
+constraints (:class:`Constraint`).  Python comparison operators on
+expressions build constraints, PuLP/Gurobi-style::
+
+    model.add(x + 2 * y <= 3, name="capacity")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Iterable
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    BINARY = "B"
+    INTEGER = "I"
+    CONTINUOUS = "C"
+
+
+class Sense(enum.Enum):
+    """Relational sense of a constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Var:
+    """A decision variable.
+
+    Instances are created through :meth:`repro.ilp.model.Model.add_var` and
+    are identified by their index within the owning model.
+    """
+
+    __slots__ = ("name", "index", "lb", "ub", "vtype")
+
+    def __init__(self, name: str, index: int, lb: float, ub: float, vtype: VarType):
+        self.name = name
+        self.index = index
+        self.lb = lb
+        self.ub = ub
+        self.vtype = vtype
+
+    # Arithmetic ---------------------------------------------------------
+    def __add__(self, other):
+        return LinExpr.from_var(self) + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return LinExpr.from_var(self) - other
+
+    def __rsub__(self, other):
+        return (-LinExpr.from_var(self)) + other
+
+    def __mul__(self, coeff):
+        return LinExpr.from_var(self) * coeff
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return LinExpr.from_var(self) * -1.0
+
+    # Comparisons build constraints --------------------------------------
+    def __le__(self, other):
+        return LinExpr.from_var(self) <= other
+
+    def __ge__(self, other):
+        return LinExpr.from_var(self) >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, Var):
+            # Var == Var is ambiguous between identity and constraint; we
+            # choose constraint building for modeling ergonomics.
+            return LinExpr.from_var(self) == other
+        if isinstance(other, (int, float, LinExpr)):
+            return LinExpr.from_var(self) == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((id(self.__class__), self.index, self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Var({self.name!r})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff * var) + constant``."""
+
+    # _var_refs is carried so expressions stay self-contained; the model
+    # re-validates variable ownership when a constraint is added.
+    __slots__ = ("terms", "constant", "_var_refs")
+
+    def __init__(self, terms: dict[int, float] | None = None, constant: float = 0.0,
+                 _vars: dict[int, Var] | None = None):
+        # terms maps var index -> coefficient; _vars maps index -> Var.
+        self.terms: dict[int, float] = terms or {}
+        self.constant = constant
+        self._var_refs: dict[int, Var] = _vars or {}
+
+    @classmethod
+    def from_var(cls, var: Var, coeff: float = 1.0) -> "LinExpr":
+        return cls({var.index: coeff}, 0.0, {var.index: var})
+
+    @classmethod
+    def from_terms(cls, pairs: Iterable[tuple[Var, float]], constant: float = 0.0) -> "LinExpr":
+        """Build an expression from (var, coefficient) pairs (fast path)."""
+        terms: dict[int, float] = {}
+        refs: dict[int, Var] = {}
+        for var, coeff in pairs:
+            terms[var.index] = terms.get(var.index, 0.0) + coeff
+            refs[var.index] = var
+        return cls(terms, constant, refs)
+
+    def variables(self) -> list[Var]:
+        return [self._var_refs[i] for i in self.terms]
+
+    def coefficient(self, var: Var) -> float:
+        return self.terms.get(var.index, 0.0)
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.terms), self.constant, dict(self._var_refs))
+
+    # Arithmetic ---------------------------------------------------------
+    def _iadd(self, other, scale: float) -> "LinExpr":
+        if isinstance(other, (int, float)):
+            self.constant += scale * other
+        elif isinstance(other, Var):
+            self.terms[other.index] = self.terms.get(other.index, 0.0) + scale
+            self._var_refs[other.index] = other
+        elif isinstance(other, LinExpr):
+            for idx, coeff in other.terms.items():
+                self.terms[idx] = self.terms.get(idx, 0.0) + scale * coeff
+                self._var_refs[idx] = other._var_refs[idx]
+            self.constant += scale * other.constant
+        else:
+            raise TypeError(f"cannot combine LinExpr with {type(other).__name__}")
+        return self
+
+    def __add__(self, other):
+        return self.copy()._iadd(other, 1.0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.copy()._iadd(other, -1.0)
+
+    def __rsub__(self, other):
+        return (self * -1.0)._iadd(other, 1.0)
+
+    def __mul__(self, coeff):
+        if not isinstance(coeff, (int, float)):
+            raise TypeError("LinExpr only supports scalar multiplication")
+        scaled = LinExpr({i: c * coeff for i, c in self.terms.items()},
+                         self.constant * coeff, dict(self._var_refs))
+        return scaled
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self * -1.0
+
+    # Comparisons build constraints --------------------------------------
+    def _compare(self, other, sense: Sense) -> "Constraint":
+        diff = self - other
+        rhs = -diff.constant
+        diff.constant = 0.0
+        return Constraint(diff, sense, rhs)
+
+    def __le__(self, other):
+        return self._compare(other, Sense.LE)
+
+    def __ge__(self, other):
+        return self._compare(other, Sense.GE)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._compare(other, Sense.EQ)
+
+    def __hash__(self):  # needed because __eq__ is overloaded
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{c:+g}*{self._var_refs[i].name}" for i, c in self.terms.items()]
+        if self.constant:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts) or "0"
+
+
+def lin_sum(items: Iterable[Var | LinExpr | float]) -> LinExpr:
+    """Sum variables/expressions efficiently (avoids quadratic copying)."""
+    result = LinExpr()
+    for item in items:
+        result._iadd(item, 1.0)
+    return result
+
+
+@dataclasses.dataclass
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) rhs`` with constant-free expr."""
+
+    expr: LinExpr
+    sense: Sense
+    rhs: float
+    name: str = ""
+
+    def is_satisfied(self, assignment: dict[int, float], tol: float = 1e-6) -> bool:
+        """Check the constraint against a var-index -> value assignment."""
+        lhs = sum(coeff * assignment.get(idx, 0.0) for idx, coeff in self.expr.terms.items())
+        if self.sense is Sense.LE:
+            return lhs <= self.rhs + tol
+        if self.sense is Sense.GE:
+            return lhs >= self.rhs - tol
+        return abs(lhs - self.rhs) <= tol
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" [{self.name}]" if self.name else ""
+        return f"{self.expr!r} {self.sense.value} {self.rhs:g}{label}"

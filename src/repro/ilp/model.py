@@ -1,0 +1,206 @@
+"""MILP model container.
+
+A :class:`Model` owns variables, constraints and an objective.  It is
+backend-independent; ``repro.ilp.solve`` dispatches it to a concrete solver
+(HiGHS via SciPy, or the pure-Python branch-and-bound in ``repro.ilp.bnb``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Iterable
+
+from .expr import Constraint, LinExpr, Sense, Var, VarType
+
+
+class ModelError(ValueError):
+    """Raised for invalid model construction."""
+
+
+class ObjectiveSense:
+    MINIMIZE = "min"
+    MAXIMIZE = "max"
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelStats:
+    """Size summary of a model (useful for reporting formulation scale)."""
+
+    num_vars: int
+    num_binary: int
+    num_integer: int
+    num_continuous: int
+    num_constraints: int
+    num_nonzeros: int
+
+
+class Model:
+    """A mixed-integer linear program."""
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self._vars: list[Var] = []
+        self._var_names: dict[str, Var] = {}
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._sense: str = ObjectiveSense.MINIMIZE
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> Var:
+        """Create a decision variable.
+
+        Raises:
+            ModelError: on duplicate names or inconsistent bounds.
+        """
+        if not name:
+            raise ModelError("variable name must be non-empty")
+        if name in self._var_names:
+            raise ModelError(f"duplicate variable name {name!r}")
+        if lb > ub:
+            raise ModelError(f"variable {name!r} has lb {lb} > ub {ub}")
+        if vtype is VarType.BINARY:
+            lb, ub = max(lb, 0.0), min(ub, 1.0)
+        var = Var(name, len(self._vars), lb, ub, vtype)
+        self._vars.append(var)
+        self._var_names[name] = var
+        return var
+
+    def add_binary(self, name: str) -> Var:
+        return self.add_var(name, 0.0, 1.0, VarType.BINARY)
+
+    def add_integer(self, name: str, lb: float = 0.0, ub: float = math.inf) -> Var:
+        return self.add_var(name, lb, ub, VarType.INTEGER)
+
+    def add_continuous(self, name: str, lb: float = 0.0, ub: float = math.inf) -> Var:
+        return self.add_var(name, lb, ub, VarType.CONTINUOUS)
+
+    def var(self, name: str) -> Var:
+        try:
+            return self._var_names[name]
+        except KeyError:
+            raise ModelError(f"no variable named {name!r}") from None
+
+    def has_var(self, name: str) -> bool:
+        return name in self._var_names
+
+    @property
+    def variables(self) -> tuple[Var, ...]:
+        return tuple(self._vars)
+
+    # ------------------------------------------------------------------
+    # constraints and objective
+    # ------------------------------------------------------------------
+    def add(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Add a constraint built with expression comparison operators."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                "expected a Constraint (did the comparison fold to bool?)"
+            )
+        self._check_ownership(constraint.expr)
+        if name:
+            constraint.name = name
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_terms(
+        self,
+        terms: Iterable[tuple[Var, float]],
+        sense: Sense,
+        rhs: float,
+        name: str = "",
+    ) -> Constraint:
+        """Fast-path constraint construction from (var, coeff) pairs."""
+        constraint = Constraint(LinExpr.from_terms(terms), sense, rhs, name)
+        self._check_ownership(constraint.expr)
+        self._constraints.append(constraint)
+        return constraint
+
+    def _check_ownership(self, expr: LinExpr) -> None:
+        for var in expr.variables():
+            if var.index >= len(self._vars) or self._vars[var.index] is not var:
+                raise ModelError(
+                    f"variable {var.name!r} does not belong to model {self.name!r}"
+                )
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    def minimize(self, expr: LinExpr | Var | float) -> None:
+        self._set_objective(expr, ObjectiveSense.MINIMIZE)
+
+    def maximize(self, expr: LinExpr | Var | float) -> None:
+        self._set_objective(expr, ObjectiveSense.MAXIMIZE)
+
+    def _set_objective(self, expr, sense: str) -> None:
+        if isinstance(expr, Var):
+            expr = LinExpr.from_var(expr)
+        elif isinstance(expr, (int, float)):
+            expr = LinExpr(constant=float(expr))
+        elif not isinstance(expr, LinExpr):
+            raise ModelError("objective must be a LinExpr, Var or number")
+        self._check_ownership(expr)
+        self._objective = expr
+        self._sense = sense
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def objective_sense(self) -> str:
+        return self._sense
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ModelStats:
+        nnz = sum(len(c.expr.terms) for c in self._constraints)
+        by_type = {t: 0 for t in VarType}
+        for var in self._vars:
+            by_type[var.vtype] += 1
+        return ModelStats(
+            num_vars=len(self._vars),
+            num_binary=by_type[VarType.BINARY],
+            num_integer=by_type[VarType.INTEGER],
+            num_continuous=by_type[VarType.CONTINUOUS],
+            num_constraints=len(self._constraints),
+            num_nonzeros=nnz,
+        )
+
+    def check_assignment(self, values: dict[int, float], tol: float = 1e-6) -> list[str]:
+        """List constraints/bounds violated by an assignment (for testing)."""
+        violations = []
+        for var in self._vars:
+            val = values.get(var.index, 0.0)
+            if val < var.lb - tol or val > var.ub + tol:
+                violations.append(f"bound violation on {var.name}: {val}")
+            if var.vtype is not VarType.CONTINUOUS and abs(val - round(val)) > tol:
+                violations.append(f"integrality violation on {var.name}: {val}")
+        for i, constraint in enumerate(self._constraints):
+            if not constraint.is_satisfied(values, tol):
+                label = constraint.name or f"#{i}"
+                violations.append(f"constraint {label} violated")
+        return violations
+
+    def objective_value(self, values: dict[int, float]) -> float:
+        """Evaluate the objective expression under an assignment."""
+        return self._objective.constant + sum(
+            coeff * values.get(idx, 0.0) for idx, coeff in self._objective.terms.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"Model({self.name!r}, vars={s.num_vars}, "
+            f"constraints={s.num_constraints})"
+        )

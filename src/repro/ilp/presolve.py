@@ -1,0 +1,202 @@
+"""Lightweight presolve for MILP models.
+
+Implements the reductions that matter for the CGRA mapping formulation,
+where many binaries are fixed by legality constraints (constraint (3) of
+the paper emits ``F_{p,q} = 0`` rows):
+
+* **singleton rows**: a constraint over one variable tightens its bounds;
+* **fixed variables**: variables with ``lb == ub`` are substituted out;
+* **empty rows**: constant constraints are checked and dropped;
+* **forcing rows**: a ``<= 0`` (or ``== 0``) row whose coefficients are all
+  positive over nonnegative variables fixes all of them to zero.
+
+Reductions iterate to a fixed point.  The result maps back to the original
+variable space so callers never see the reduced model's indices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from .expr import Sense, VarType
+from .model import Model
+from .status import Solution, SolveStatus
+
+
+@dataclasses.dataclass
+class PresolveResult:
+    """Outcome of presolving a model.
+
+    Attributes:
+        model: reduced model (None when presolve already decided the
+            instance, e.g. proven infeasible).
+        fixed: original-var-index -> value for substituted variables.
+        index_map: reduced-var-index -> original-var-index.
+        infeasible: True when presolve proved infeasibility.
+        objective_offset: constant contributed by fixed variables.
+    """
+
+    model: Model | None
+    fixed: dict[int, float]
+    index_map: dict[int, int]
+    infeasible: bool
+    objective_offset: float
+
+    def lift(self, solution: Solution) -> Solution:
+        """Translate a reduced-space solution back to the original space."""
+        if not solution.status.has_solution:
+            return solution
+        values = dict(self.fixed)
+        for reduced_idx, value in solution.values.items():
+            values[self.index_map[reduced_idx]] = value
+        objective = solution.objective
+        if objective is not None:
+            objective += self.objective_offset
+        return dataclasses.replace(solution, values=values, objective=objective)
+
+
+def presolve(model: Model, max_rounds: int = 25) -> PresolveResult:
+    """Apply reductions until fixed point; see module docstring."""
+    lb = {v.index: v.lb for v in model.variables}
+    ub = {v.index: v.ub for v in model.variables}
+    is_int = {
+        v.index: v.vtype is not VarType.CONTINUOUS for v in model.variables
+    }
+    # Active rows as (terms dict, sense, rhs, name); terms over original idx.
+    rows = [
+        (dict(c.expr.terms), c.sense, c.rhs, c.name) for c in model.constraints
+    ]
+
+    def tighten(idx: int, new_lb: float | None, new_ub: float | None) -> bool:
+        """Returns False on empty domain."""
+        if new_lb is not None and new_lb > lb[idx]:
+            lb[idx] = math.ceil(new_lb - 1e-9) if is_int[idx] else new_lb
+        if new_ub is not None and new_ub < ub[idx]:
+            ub[idx] = math.floor(new_ub + 1e-9) if is_int[idx] else new_ub
+        return lb[idx] <= ub[idx] + 1e-12
+
+    infeasible = False
+    for _ in range(max_rounds):
+        changed = False
+        remaining = []
+        for terms, sense, rhs, name in rows:
+            live = {i: c for i, c in terms.items() if c != 0.0 and lb[i] != ub[i]}
+            const = sum(c * lb[i] for i, c in terms.items() if lb[i] == ub[i] and c != 0.0)
+            adj_rhs = rhs - const
+            if not live:
+                ok = (
+                    (sense is Sense.LE and 0 <= adj_rhs + 1e-9)
+                    or (sense is Sense.GE and 0 >= adj_rhs - 1e-9)
+                    or (sense is Sense.EQ and abs(adj_rhs) <= 1e-9)
+                )
+                if not ok:
+                    infeasible = True
+                changed = True
+                continue
+            if len(live) == 1:
+                ((idx, coeff),) = live.items()
+                bound = adj_rhs / coeff
+                if sense is Sense.EQ:
+                    ok = tighten(idx, bound, bound)
+                elif (sense is Sense.LE) == (coeff > 0):
+                    ok = tighten(idx, None, bound)
+                else:
+                    ok = tighten(idx, bound, None)
+                if not ok:
+                    infeasible = True
+                changed = True
+                continue
+            if (
+                sense in (Sense.LE, Sense.EQ)
+                and adj_rhs <= 1e-12
+                and all(c > 0 for c in live.values())
+                and all(lb[i] >= 0 for i in live)
+            ):
+                # All-positive row over nonnegative vars: the row minimum is
+                # zero, so a negative rhs is unsatisfiable; rhs == 0 forces
+                # every variable to zero.
+                if adj_rhs < -1e-9:
+                    infeasible = True
+                    changed = True
+                    continue
+                ok = all(tighten(i, None, 0.0) for i in live)
+                if not ok:
+                    infeasible = True
+                changed = True
+                continue
+            remaining.append((terms, sense, rhs, name))
+        rows = remaining
+        if infeasible or not changed:
+            break
+
+    if infeasible:
+        return PresolveResult(None, {}, {}, True, 0.0)
+
+    fixed = {i: lb[i] for i in lb if lb[i] == ub[i]}
+    reduced = Model(f"{model.name}.presolved")
+    index_map: dict[int, int] = {}
+    reverse: dict[int, int] = {}
+    for var in model.variables:
+        if var.index in fixed:
+            continue
+        new_var = reduced.add_var(var.name, lb[var.index], ub[var.index], var.vtype)
+        index_map[new_var.index] = var.index
+        reverse[var.index] = new_var.index
+
+    for terms, sense, rhs, name in rows:
+        const = sum(c * fixed[i] for i, c in terms.items() if i in fixed)
+        pairs = [
+            (reduced.variables[reverse[i]], c)
+            for i, c in terms.items()
+            if i not in fixed and c != 0.0
+        ]
+        reduced.add_terms(pairs, sense, rhs - const, name)
+
+    offset = sum(
+        coeff * fixed[i]
+        for i, coeff in model.objective.terms.items()
+        if i in fixed
+    ) + model.objective.constant
+    obj_pairs = [
+        (reduced.variables[reverse[i]], coeff)
+        for i, coeff in model.objective.terms.items()
+        if i not in fixed
+    ]
+    from .expr import LinExpr  # local import to avoid cycle at module load
+
+    objective = LinExpr.from_terms(obj_pairs)
+    if model.objective_sense == "max":
+        reduced.maximize(objective)
+    else:
+        reduced.minimize(objective)
+
+    return PresolveResult(reduced, fixed, index_map, False, offset)
+
+
+def solve_with_presolve(model: Model, solve_fn) -> Solution:
+    """Presolve, delegate to ``solve_fn(reduced_model)``, lift the result."""
+    result = presolve(model)
+    if result.infeasible:
+        return Solution(status=SolveStatus.INFEASIBLE, backend="presolve",
+                        message="proven infeasible in presolve")
+    assert result.model is not None
+    if not result.model.variables:
+        # Presolve fixed everything; re-check the complete assignment
+        # against the *original* model rather than trusting bookkeeping.
+        if model.check_assignment(result.fixed):
+            return Solution(
+                status=SolveStatus.INFEASIBLE,
+                backend="presolve",
+                message="proven infeasible in presolve (fixed point check)",
+            )
+        return result.lift(
+            Solution(
+                status=SolveStatus.OPTIMAL,
+                objective=0.0,
+                backend="presolve",
+                message="fully solved in presolve",
+            )
+        )
+    solution = solve_fn(result.model)
+    return result.lift(solution)

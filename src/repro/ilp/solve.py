@@ -1,0 +1,55 @@
+"""Backend dispatch for solving ILP models."""
+
+from __future__ import annotations
+
+from .bnb import solve_bnb
+from .highs_backend import solve_highs
+from .model import Model
+from .presolve import solve_with_presolve
+from .status import Solution
+
+BACKENDS = ("highs", "bnb")
+
+
+def solve(
+    model: Model,
+    backend: str = "highs",
+    time_limit: float | None = None,
+    mip_rel_gap: float | None = None,
+    node_limit: int | None = None,
+    use_presolve: bool = False,
+) -> Solution:
+    """Solve ``model`` with the selected backend.
+
+    Args:
+        model: MILP to solve.
+        backend: ``"highs"`` (SciPy/HiGHS, the Gurobi stand-in) or
+            ``"bnb"`` (the repo's own branch-and-bound).
+        time_limit: wall-clock budget in seconds.
+        mip_rel_gap: relative gap stop (HiGHS only; 1.0 ~= feasibility mode).
+        node_limit: branch-and-bound node budget.
+        use_presolve: run :mod:`repro.ilp.presolve` before the backend and
+            lift the solution back (HiGHS has its own presolve; this flag
+            exercises ours, and is the default for the ``bnb`` backend's
+            callers in the mapper).
+
+    Raises:
+        ValueError: for an unknown backend name.
+    """
+    if backend == "highs":
+        def run(m: Model) -> Solution:
+            return solve_highs(
+                m,
+                time_limit=time_limit,
+                mip_rel_gap=mip_rel_gap,
+                node_limit=node_limit,
+            )
+    elif backend == "bnb":
+        def run(m: Model) -> Solution:
+            return solve_bnb(m, time_limit=time_limit, node_limit=node_limit)
+    else:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+    if use_presolve:
+        return solve_with_presolve(model, run)
+    return run(model)

@@ -1,0 +1,135 @@
+"""Compilation of a :class:`~repro.ilp.model.Model` to matrix standard form.
+
+Both backends consume the same :class:`StandardForm`:
+
+* minimize ``c @ x + c0``
+* subject to ``row_lb <= A @ x <= row_ub`` and ``var_lb <= x <= var_ub``
+* ``integrality[i] = 1`` marks integer-constrained variables.
+
+Maximization models are compiled by negating ``c`` (the solution layer
+un-negates the reported objective).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+from scipy import sparse
+
+from .expr import Sense, VarType
+from .model import Model
+
+
+@dataclasses.dataclass
+class StandardForm:
+    """Matrix form of a MILP (see module docstring)."""
+
+    c: np.ndarray
+    c0: float
+    A: sparse.csr_matrix
+    row_lb: np.ndarray
+    row_ub: np.ndarray
+    var_lb: np.ndarray
+    var_ub: np.ndarray
+    integrality: np.ndarray
+    maximize: bool
+
+    @property
+    def num_vars(self) -> int:
+        return self.c.shape[0]
+
+    @property
+    def num_rows(self) -> int:
+        return self.A.shape[0]
+
+    def to_linprog(self) -> tuple[np.ndarray, sparse.csr_matrix | None, np.ndarray | None,
+                                  sparse.csr_matrix | None, np.ndarray | None, list]:
+        """Split ranged rows into (A_ub, b_ub) / (A_eq, b_eq) for linprog."""
+        eq_rows, ub_rows, lb_rows = [], [], []
+        for i in range(self.num_rows):
+            lb, ub = self.row_lb[i], self.row_ub[i]
+            if lb == ub:
+                eq_rows.append(i)
+            else:
+                if math.isfinite(ub):
+                    ub_rows.append(i)
+                if math.isfinite(lb):
+                    lb_rows.append(i)
+
+        a_eq = b_eq = a_ub = b_ub = None
+        if eq_rows:
+            a_eq = self.A[eq_rows]
+            b_eq = self.row_ub[eq_rows]
+        blocks, rhs = [], []
+        if ub_rows:
+            blocks.append(self.A[ub_rows])
+            rhs.append(self.row_ub[ub_rows])
+        if lb_rows:
+            blocks.append(-self.A[lb_rows])
+            rhs.append(-self.row_lb[lb_rows])
+        if blocks:
+            a_ub = sparse.vstack(blocks, format="csr")
+            b_ub = np.concatenate(rhs)
+        bounds = list(zip(self.var_lb.tolist(), self.var_ub.tolist()))
+        bounds = [
+            (lb if math.isfinite(lb) else None, ub if math.isfinite(ub) else None)
+            for lb, ub in bounds
+        ]
+        return self.c, a_ub, b_ub, a_eq, b_eq, bounds
+
+    def report_objective(self, raw: float) -> float:
+        """Convert the minimized objective back to the model's sense."""
+        value = raw + self.c0
+        return -value if self.maximize else value
+
+
+def compile_model(model: Model) -> StandardForm:
+    """Lower a model to :class:`StandardForm` (sparse COO assembly)."""
+    num_vars = len(model.variables)
+    c = np.zeros(num_vars)
+    maximize = model.objective_sense == "max"
+    for idx, coeff in model.objective.terms.items():
+        c[idx] = -coeff if maximize else coeff
+    c0 = -model.objective.constant if maximize else model.objective.constant
+
+    rows, cols, data = [], [], []
+    row_lb, row_ub = [], []
+    for row, constraint in enumerate(model.constraints):
+        for idx, coeff in constraint.expr.terms.items():
+            if coeff == 0.0:
+                continue
+            rows.append(row)
+            cols.append(idx)
+            data.append(coeff)
+        if constraint.sense is Sense.LE:
+            row_lb.append(-math.inf)
+            row_ub.append(constraint.rhs)
+        elif constraint.sense is Sense.GE:
+            row_lb.append(constraint.rhs)
+            row_ub.append(math.inf)
+        else:
+            row_lb.append(constraint.rhs)
+            row_ub.append(constraint.rhs)
+
+    a = sparse.csr_matrix(
+        (data, (rows, cols)), shape=(len(model.constraints), num_vars)
+    )
+    var_lb = np.array([v.lb for v in model.variables], dtype=float)
+    var_ub = np.array([v.ub for v in model.variables], dtype=float)
+    integrality = np.array(
+        [0 if v.vtype is VarType.CONTINUOUS else 1 for v in model.variables],
+        dtype=np.int64,
+    )
+    return StandardForm(
+        c=c,
+        c0=c0,
+        A=a,
+        row_lb=np.array(row_lb),
+        row_ub=np.array(row_ub),
+        var_lb=var_lb,
+        var_ub=var_ub,
+        integrality=integrality,
+        maximize=maximize,
+    )

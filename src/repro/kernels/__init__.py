@@ -1,0 +1,36 @@
+"""The paper's 19 benchmark DFGs (Table 1), plus parametric generators."""
+
+from .arithmetic import accum, add_n, mac, mult_n
+from .conv import conv_2x2_f, conv_2x2_p
+from .misc import extreme, weighted_sum
+from .registry import (
+    BENCHMARK_NAMES,
+    EXPECTED_TABLE1,
+    KERNEL_BUILDERS,
+    all_kernels,
+    kernel,
+)
+from .taylor import cos_4, cosh_4, exp_4, exp_5, exp_6, sinh_4, tay_4
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "EXPECTED_TABLE1",
+    "KERNEL_BUILDERS",
+    "accum",
+    "add_n",
+    "all_kernels",
+    "conv_2x2_f",
+    "conv_2x2_p",
+    "cos_4",
+    "cosh_4",
+    "exp_4",
+    "exp_5",
+    "exp_6",
+    "extreme",
+    "kernel",
+    "mac",
+    "mult_n",
+    "sinh_4",
+    "tay_4",
+    "weighted_sum",
+]

@@ -1,0 +1,84 @@
+"""Arithmetic benchmark kernels: adder/multiplier chains, accum, mac.
+
+All kernels reproduce the published Table 1 characteristics exactly
+(I/Os, internal operations, multiplies); see ``repro.kernels.registry``.
+``accum`` and ``mac`` carry loop accumulators as DFG back-edges.
+"""
+
+from __future__ import annotations
+
+from ..dfg.build import DFGBuilder
+from ..dfg.graph import DFG
+
+
+def add_n(n: int, name: str | None = None) -> DFG:
+    """Sum ``n`` inputs with a balanced adder tree and store the result.
+
+    Characteristics: I/Os = n (inputs), Operations = n (n-1 adds + store),
+    Multiplies = 0.
+    """
+    if n < 2:
+        raise ValueError("add_n needs at least two inputs")
+    b = DFGBuilder(name or f"add_{n}")
+    inputs = [b.input(f"x{i}") for i in range(n)]
+    total = b.reduce("add", inputs)
+    b.store(total, name="st")
+    return b.build()
+
+
+def mult_n(n: int, name: str | None = None) -> DFG:
+    """Multiply chain squaring the first input: ``((x0*x0)*x1)*...``.
+
+    Characteristics for ``n`` inputs: I/Os = n + 1 (inputs + output),
+    Operations = n (all multiplies), Multiplies = n.
+    """
+    if n < 1:
+        raise ValueError("mult_n needs at least one input")
+    b = DFGBuilder(name or f"mult_{n + 1}")
+    inputs = [b.input(f"x{i}") for i in range(n)]
+    acc = b.mul(inputs[0], inputs[0], name="m0")
+    for i in range(1, n):
+        acc = b.mul(acc, inputs[i], name=f"m{i}")
+    b.output(acc, name="o")
+    return b.build()
+
+
+def accum() -> DFG:
+    """Four products accumulated into a loop-carried register.
+
+    Characteristics: I/Os = 10 (8 inputs + 2 outputs), Operations = 8
+    (4 muls, 3 tree adds, 1 accumulate add with a back-edge),
+    Multiplies = 4.
+    """
+    b = DFGBuilder("accum")
+    xs = [b.input(f"x{i}") for i in range(8)]
+    products = [
+        b.mul(xs[2 * i], xs[2 * i + 1], name=f"m{i}") for i in range(4)
+    ]
+    tree = b.reduce("add", products, name_prefix="a")
+    feedback = b.defer()
+    acc = b.add(tree, feedback, name="acc")
+    b.bind_back(feedback, acc)
+    b.output(acc, name="o0")
+    b.output(tree, name="o1")
+    return b.build()
+
+
+def mac() -> DFG:
+    """Multiply-accumulate over loaded stream data.
+
+    Characteristics: I/Os = 1 (a single output), Operations = 9
+    (4 loads, 3 muls, 1 accumulate add with back-edge, 1 add),
+    Multiplies = 3.
+    """
+    b = DFGBuilder("mac")
+    loads = [b.load(f"l{i}") for i in range(4)]
+    m0 = b.mul(loads[0], loads[1], name="m0")
+    m1 = b.mul(loads[2], loads[3], name="m1")
+    m2 = b.mul(m0, m1, name="m2")
+    feedback = b.defer()
+    acc = b.add(m2, feedback, name="acc")
+    b.bind_back(feedback, acc)
+    post = b.add(acc, loads[0], name="post")
+    b.output(post, name="o")
+    return b.build()

@@ -1,0 +1,42 @@
+"""2x2 window kernels: filter (``2x2-f``) and pooling (``2x2-p``)."""
+
+from __future__ import annotations
+
+from ..dfg.build import DFGBuilder
+from ..dfg.graph import DFG
+
+
+def conv_2x2_f() -> DFG:
+    """2x2 filter: sum a 2x2 pixel window, scale by a constant weight.
+
+    Characteristics: I/Os = 5 (4 in, 1 out), Operations = 5
+    (3 adds, 1 const, 1 mul), Multiplies = 1.
+    """
+    b = DFGBuilder("2x2-f")
+    pixels = [b.input(f"p{i}") for i in range(4)]
+    s0 = b.add(pixels[0], pixels[1], name="s0")
+    s1 = b.add(pixels[2], pixels[3], name="s1")
+    s2 = b.add(s0, s1, name="s2")
+    weight = b.const("w")
+    scaled = b.mul(s2, weight, name="m")
+    b.output(scaled, name="o")
+    return b.build()
+
+
+def conv_2x2_p() -> DFG:
+    """2x2 pooling: window sum exported both scaled and averaged.
+
+    Characteristics: I/Os = 6 (4 in, 2 out), Operations = 6
+    (3 adds, 1 const, 1 mul, 1 shr), Multiplies = 1.
+    """
+    b = DFGBuilder("2x2-p")
+    pixels = [b.input(f"p{i}") for i in range(4)]
+    s0 = b.add(pixels[0], pixels[1], name="s0")
+    s1 = b.add(pixels[2], pixels[3], name="s1")
+    s2 = b.add(s0, s1, name="s2")
+    weight = b.const("w")
+    scaled = b.mul(s2, weight, name="m")
+    averaged = b.shr(s2, weight, name="avg")
+    b.output(scaled, name="o0")
+    b.output(averaged, name="o1")
+    return b.build()

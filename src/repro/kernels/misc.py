@@ -1,0 +1,47 @@
+"""Routing-stress kernels: ``extreme`` and ``weighted_sum``."""
+
+from __future__ import annotations
+
+from ..dfg.build import DFGBuilder
+from ..dfg.graph import DFG
+
+
+def extreme() -> DFG:
+    """Deep chain with heavy I/O and fanout — the routing stress test.
+
+    Characteristics: I/Os = 16 (14 in, 2 out), Operations = 19
+    (13 chained adds, 2 shifts, 4 muls), Multiplies = 4.
+    """
+    b = DFGBuilder("extreme")
+    xs = [b.input(f"x{i}") for i in range(14)]
+    acc = xs[0]
+    for i in range(1, 14):
+        acc = b.add(acc, xs[i], name=f"a{i}")
+    sh1 = b.shl(acc, xs[0], name="sh1")
+    sh2 = b.shr(acc, xs[1], name="sh2")
+    m1 = b.mul(sh1, sh2, name="m1")
+    m2 = b.mul(m1, acc, name="m2")
+    m3 = b.mul(m2, xs[2], name="m3")
+    m4 = b.mul(m3, xs[3], name="m4")
+    b.output(m4, name="o0")
+    b.output(m1, name="o1")
+    return b.build()
+
+
+def weighted_sum() -> DFG:
+    """Weighted reduction of seven streams plus fixed-point post-scaling.
+
+    Characteristics: I/Os = 16 (14 in, 2 out), Operations = 16
+    (8 muls, 6 adds, 1 shr, 1 shl), Multiplies = 8.
+    """
+    b = DFGBuilder("weighted_sum")
+    xs = [b.input(f"x{i}") for i in range(7)]
+    ws = [b.input(f"w{i}") for i in range(7)]
+    products = [b.mul(xs[i], ws[i], name=f"m{i}") for i in range(7)]
+    total = b.reduce("add", products, name_prefix="s")
+    square = b.mul(total, total, name="msq")
+    scaled = b.shr(square, ws[0], name="shr")
+    rescaled = b.shl(scaled, ws[1], name="shl")
+    b.output(rescaled, name="o0")
+    b.output(total, name="o1")
+    return b.build()

@@ -1,0 +1,85 @@
+"""Benchmark registry: the 19 DFGs of the paper's Table 1.
+
+``EXPECTED_TABLE1`` pins the published characteristics; the test suite
+asserts that every generated kernel matches its row exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..dfg.graph import DFG
+from ..dfg.validate import assert_valid
+from .arithmetic import accum, add_n, mac, mult_n
+from .conv import conv_2x2_f, conv_2x2_p
+from .misc import extreme, weighted_sum
+from .taylor import cos_4, cosh_4, exp_4, exp_5, exp_6, sinh_4, tay_4
+
+#: Benchmark name -> builder, in Table 1 row order.
+KERNEL_BUILDERS: dict[str, Callable[[], DFG]] = {
+    "accum": accum,
+    "mac": mac,
+    "add_10": lambda: add_n(10),
+    "add_14": lambda: add_n(14),
+    "add_16": lambda: add_n(16),
+    "mult_10": lambda: mult_n(9),
+    "mult_14": lambda: mult_n(13),
+    "mult_16": lambda: mult_n(15),
+    "2x2-f": conv_2x2_f,
+    "2x2-p": conv_2x2_p,
+    "cos_4": cos_4,
+    "cosh_4": cosh_4,
+    "exp_4": exp_4,
+    "exp_5": exp_5,
+    "exp_6": exp_6,
+    "sinh_4": sinh_4,
+    "tay_4": tay_4,
+    "extreme": extreme,
+    "weighted_sum": weighted_sum,
+}
+
+#: Published Table 1: benchmark -> (I/Os, Operations, # Multiplies).
+EXPECTED_TABLE1: dict[str, tuple[int, int, int]] = {
+    "accum": (10, 8, 4),
+    "mac": (1, 9, 3),
+    "add_10": (10, 10, 0),
+    "add_14": (14, 14, 0),
+    "add_16": (16, 16, 0),
+    "mult_10": (10, 9, 9),
+    "mult_14": (14, 13, 13),
+    "mult_16": (16, 15, 15),
+    "2x2-f": (5, 5, 1),
+    "2x2-p": (6, 6, 1),
+    "cos_4": (5, 14, 12),
+    "cosh_4": (5, 14, 12),
+    "exp_4": (4, 9, 5),
+    "exp_5": (5, 12, 9),
+    "exp_6": (6, 15, 14),
+    "sinh_4": (5, 13, 9),
+    "tay_4": (5, 10, 6),
+    "extreme": (16, 19, 4),
+    "weighted_sum": (16, 16, 8),
+}
+
+BENCHMARK_NAMES: tuple[str, ...] = tuple(KERNEL_BUILDERS)
+
+
+def kernel(name: str) -> DFG:
+    """Build (and validate) a benchmark DFG by name.
+
+    Raises:
+        KeyError: for unknown benchmark names.
+    """
+    try:
+        builder = KERNEL_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(BENCHMARK_NAMES)
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    dfg = builder()
+    assert_valid(dfg)
+    return dfg
+
+
+def all_kernels() -> dict[str, DFG]:
+    """Build every benchmark, in Table 1 order."""
+    return {name: kernel(name) for name in BENCHMARK_NAMES}

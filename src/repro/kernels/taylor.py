@@ -1,0 +1,172 @@
+"""Taylor-series benchmark kernels (cos_4, cosh_4, exp_*, sinh_4, tay_4).
+
+These follow the fixed-point, no-CSE structure typical of LLVM-compiled
+Taylor evaluations: powers of x are computed by repeated multiplication
+without sharing, coefficients arrive as inputs, and some kernels end with
+a fixed-point rescaling shift.  Each matches its published Table 1 row
+exactly (see ``repro.kernels.registry``).
+"""
+
+from __future__ import annotations
+
+from ..dfg.build import DFGBuilder, Ref
+from ..dfg.graph import DFG
+
+
+def _power_chain(b: DFGBuilder, x: Ref, exponent: int, prefix: str) -> Ref:
+    """Compute ``x**exponent`` by a fresh multiply chain (exponent-1 muls)."""
+    acc = b.mul(x, x, name=f"{prefix}p2")
+    for e in range(3, exponent + 1):
+        acc = b.mul(acc, x, name=f"{prefix}p{e}")
+    return acc
+
+
+def cos_4(name: str = "cos_4") -> DFG:
+    """4-term cosine: even powers x^2, x^4, x^6 by unshared chains.
+
+    Characteristics: I/Os = 5 (x + 3 coefficients + output = 4 in, 1 out),
+    Operations = 14 (12 muls + 2 adds), Multiplies = 12.
+    """
+    b = DFGBuilder(name)
+    x = b.input("x")
+    coeffs = [b.input(f"c{i}") for i in range(3)]
+    x2 = _power_chain(b, x, 2, "a")  # 1 mul
+    x4 = _power_chain(b, x, 4, "b")  # 3 muls
+    x6 = _power_chain(b, x, 6, "d")  # 5 muls
+    t1 = b.mul(coeffs[0], x2, name="t1")
+    t2 = b.mul(coeffs[1], x4, name="t2")
+    t3 = b.mul(coeffs[2], x6, name="t3")
+    s0 = b.add(t1, t2, name="s0")
+    s1 = b.add(s0, t3, name="s1")
+    b.output(s1, name="o")
+    return b.build()
+
+
+def cosh_4(name: str = "cosh_4") -> DFG:
+    """4-term hyperbolic cosine; same structure as :func:`cos_4` with
+    all-positive coefficients (identical Table 1 characteristics)."""
+    return cos_4(name=name)
+
+
+def exp_4() -> DFG:
+    """4-term exponential: 1 + x + c2*x^2 + c3*x^3 (x^3 unshared).
+
+    Characteristics: I/Os = 4 (3 in, 1 out), Operations = 9
+    (5 muls, 1 const, 3 adds), Multiplies = 5.
+    """
+    b = DFGBuilder("exp_4")
+    x = b.input("x")
+    c2 = b.input("c2")
+    c3 = b.input("c3")
+    x2 = _power_chain(b, x, 2, "a")  # 1 mul
+    x3 = _power_chain(b, x, 3, "b")  # 2 muls
+    t2 = b.mul(c2, x2, name="t2")
+    t3 = b.mul(c3, x3, name="t3")
+    one = b.const("one")
+    s0 = b.add(one, x, name="s0")
+    s1 = b.add(s0, t2, name="s1")
+    s2 = b.add(s1, t3, name="s2")
+    b.output(s2, name="o")
+    return b.build()
+
+
+def exp_5() -> DFG:
+    """5-term exponential with unshared power chains.
+
+    Characteristics: I/Os = 5 (4 in, 1 out), Operations = 12
+    (9 muls + 3 adds), Multiplies = 9.
+    """
+    b = DFGBuilder("exp_5")
+    x = b.input("x")
+    coeffs = [b.input(f"c{i}") for i in range(2, 5)]
+    x2 = _power_chain(b, x, 2, "a")  # 1 mul
+    x3 = _power_chain(b, x, 3, "b")  # 2 muls
+    x4 = _power_chain(b, x, 4, "d")  # 3 muls
+    t2 = b.mul(coeffs[0], x2, name="t2")
+    t3 = b.mul(coeffs[1], x3, name="t3")
+    t4 = b.mul(coeffs[2], x4, name="t4")
+    s0 = b.add(x, t2, name="s0")
+    s1 = b.add(s0, t3, name="s1")
+    s2 = b.add(s1, t4, name="s2")
+    b.output(s2, name="o")
+    return b.build()
+
+
+def exp_6() -> DFG:
+    """6-term exponential, multiply-dominated (products folded into the
+    accumulation as in a fused fixed-point evaluation).
+
+    Characteristics: I/Os = 6 (5 in, 1 out), Operations = 15
+    (14 muls + 1 add), Multiplies = 14.
+    """
+    b = DFGBuilder("exp_6")
+    x = b.input("x")
+    coeffs = [b.input(f"c{i}") for i in range(2, 6)]
+    x2 = _power_chain(b, x, 2, "a")  # 1 mul
+    x3 = _power_chain(b, x, 3, "b")  # 2 muls
+    x4 = _power_chain(b, x, 4, "d")  # 3 muls
+    t2 = b.mul(coeffs[0], x2, name="t2")
+    t3 = b.mul(coeffs[1], x3, name="t3")
+    t4 = b.mul(coeffs[2], x4, name="t4")
+    t5 = b.mul(coeffs[3], x4, name="t5")
+    s0 = b.add(t2, t3, name="s0")
+    # Remaining terms folded multiplicatively (no-CSE fixed-point fusion),
+    # followed by two rescaling multiplies.
+    f0 = b.mul(s0, t4, name="f0")
+    f1 = b.mul(f0, t5, name="f1")
+    g0 = b.mul(f1, x, name="g0")
+    g1 = b.mul(g0, x, name="g1")
+    b.output(g1, name="o")
+    return b.build()
+
+
+def sinh_4() -> DFG:
+    """4-term hyperbolic sine with a final fixed-point rescale shift.
+
+    Characteristics: I/Os = 5 (4 in, 1 out), Operations = 13
+    (9 muls, 3 adds, 1 shl), Multiplies = 9.
+    """
+    b = DFGBuilder("sinh_4")
+    x = b.input("x")
+    c3 = b.input("c3")
+    c5 = b.input("c5")
+    c7 = b.input("c7")
+    x2 = b.mul(x, x, name="x2")
+    x3 = b.mul(x2, x, name="x3")
+    x5a = b.mul(x3, x, name="x5a")
+    x5 = b.mul(x5a, x, name="x5")
+    x7a = b.mul(x5, x, name="x7a")
+    x7 = b.mul(x7a, x, name="x7")
+    t3 = b.mul(c3, x3, name="t3")
+    t5 = b.mul(c5, x5, name="t5")
+    t7 = b.mul(c7, x7, name="t7")
+    s0 = b.add(x, t3, name="s0")
+    s1 = b.add(s0, t5, name="s1")
+    s2 = b.add(s1, t7, name="s2")
+    scaled = b.shl(s2, c3, name="scale")
+    b.output(scaled, name="o")
+    return b.build()
+
+
+def tay_4() -> DFG:
+    """Generic 4-term Taylor evaluation.
+
+    Characteristics: I/Os = 5 (4 in, 1 out), Operations = 10
+    (6 muls, 1 const, 3 adds), Multiplies = 6.
+    """
+    b = DFGBuilder("tay_4")
+    x = b.input("x")
+    c1 = b.input("c1")
+    c2 = b.input("c2")
+    c3 = b.input("c3")
+    x2 = _power_chain(b, x, 2, "a")  # 1 mul
+    x3 = _power_chain(b, x, 3, "b")  # 2 muls
+    t1 = b.mul(c1, x, name="t1")
+    t2 = b.mul(c2, x2, name="t2")
+    t3 = b.mul(c3, x3, name="t3")
+    one = b.const("one")
+    s0 = b.add(one, t1, name="s0")
+    s1 = b.add(s0, t2, name="s1")
+    s2 = b.add(s1, t3, name="s2")
+    b.output(s2, name="o")
+    return b.build()

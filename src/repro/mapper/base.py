@@ -1,0 +1,73 @@
+"""Common mapper interface and result types."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from ..dfg.graph import DFG
+from ..mrrg.graph import MRRG
+from .mapping import Mapping
+
+
+class MapStatus(enum.Enum):
+    """Outcome of a mapping attempt.
+
+    ``MAPPED`` and ``INFEASIBLE`` from the ILP mapper are proofs; the SA
+    mapper can only ever report ``MAPPED`` or ``GAVE_UP`` (a heuristic
+    failure says nothing about true feasibility — the gap Fig. 8
+    visualizes).
+    """
+
+    MAPPED = "mapped"
+    INFEASIBLE = "infeasible"
+    TIMEOUT = "timeout"
+    GAVE_UP = "gave_up"
+    ERROR = "error"
+
+    @property
+    def table2_symbol(self) -> str:
+        """Rendering used by Table 2: 1 feasible, 0 infeasible, T timeout."""
+        if self is MapStatus.MAPPED:
+            return "1"
+        if self is MapStatus.INFEASIBLE:
+            return "0"
+        if self is MapStatus.TIMEOUT:
+            return "T"
+        return "?"
+
+
+@dataclasses.dataclass
+class MapResult:
+    """Result of running a mapper on (DFG, MRRG).
+
+    Attributes:
+        status: the verdict.
+        mapping: the legal mapping when status is MAPPED.
+        objective: routing-resource usage of the returned mapping.
+        proven_optimal: True when the objective is proven optimal.
+        formulation_time: seconds spent building the ILP (0 for SA).
+        solve_time: seconds spent solving / annealing.
+        detail: backend-specific context (solver message, SA stats...).
+    """
+
+    status: MapStatus
+    mapping: Mapping | None = None
+    objective: float | None = None
+    proven_optimal: bool = False
+    formulation_time: float = 0.0
+    solve_time: float = 0.0
+    detail: str = ""
+
+    @property
+    def total_time(self) -> float:
+        return self.formulation_time + self.solve_time
+
+
+class Mapper:
+    """Interface shared by the ILP and SA mappers."""
+
+    name: str = "mapper"
+
+    def map(self, dfg: DFG, mrrg: MRRG) -> MapResult:
+        raise NotImplementedError

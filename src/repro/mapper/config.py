@@ -1,0 +1,107 @@
+"""Configuration extraction: from a mapping to per-context fabric state.
+
+A legal :class:`~repro.mapper.mapping.Mapping` fully determines the
+CGRA's configuration for each context: which operation every functional
+unit executes, and which input every multiplexer selects.  This module
+derives that configuration — the software equivalent of CGRA bitstream
+generation — and is what the cycle-accurate simulator executes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..mrrg.graph import MRRG
+from .mapping import Mapping
+
+
+class ConfigError(ValueError):
+    """Raised when a mapping does not induce a consistent configuration."""
+
+
+@dataclasses.dataclass
+class Configuration:
+    """Fabric configuration induced by a mapping.
+
+    Attributes:
+        mapping: the originating mapping.
+        fu_ops: FuncUnit node id -> hosted op name.
+        mux_select: multi-fan-in route node id -> selected fan-in node id.
+        used_nodes: every route node carrying a value.
+        value_at: route node id -> producing op name (the value it carries).
+    """
+
+    mapping: Mapping
+    fu_ops: dict[str, str]
+    mux_select: dict[str, str]
+    used_nodes: frozenset[str]
+    value_at: dict[str, str]
+
+    @property
+    def mrrg(self) -> MRRG:
+        return self.mapping.mrrg
+
+    def contexts(self) -> int:
+        return self.mrrg.ii
+
+    def to_text(self) -> str:
+        """Human-readable configuration dump, grouped by context."""
+        mrrg = self.mrrg
+        lines = [f"configuration for {mrrg.name!r} ({mrrg.ii} context(s))"]
+        for ctx in range(mrrg.ii):
+            lines.append(f"context {ctx}:")
+            for fu_id, op in sorted(self.fu_ops.items()):
+                node = mrrg.node(fu_id)
+                if node.context != ctx:
+                    continue
+                opcode = self.mapping.dfg.op(op).opcode
+                lines.append(f"  {node.path:<28} op={opcode.value:<7} ({op})")
+            for mux, chosen in sorted(self.mux_select.items()):
+                node = mrrg.node(mux)
+                if node.context != ctx:
+                    continue
+                src = mrrg.node(chosen)
+                lines.append(f"  {node.path + '.' + node.tag:<28} select <- {src.path}.{src.tag}")
+        return "\n".join(lines) + "\n"
+
+
+def extract_configuration(mapping: Mapping) -> Configuration:
+    """Derive the fabric configuration from a (verified) mapping.
+
+    Raises:
+        ConfigError: if a multiplexer carries a value with zero or more
+            than one selected input (a violation of the paper's
+            Multiplexer Input Exclusivity invariant), or a route node
+            carries several values.
+    """
+    mrrg = mapping.mrrg
+    usage = mapping.nodes_used_by_value()
+    value_at: dict[str, str] = {}
+    for node_id, producers in usage.items():
+        if len(producers) != 1:
+            raise ConfigError(
+                f"route node {node_id!r} carries {len(producers)} values"
+            )
+        value_at[node_id] = next(iter(producers))
+
+    mux_select: dict[str, str] = {}
+    for node_id, value in value_at.items():
+        fanins = mrrg.route_fanins(node_id)
+        if len(fanins) <= 1:
+            continue
+        chosen = [f for f in fanins if value_at.get(f) == value]
+        if len(chosen) != 1:
+            raise ConfigError(
+                f"multiplexer {node_id!r} has {len(chosen)} selected inputs "
+                f"for value {value!r}"
+            )
+        mux_select[node_id] = chosen[0]
+
+    fu_ops = {fu: op for op, fu in mapping.placement.items()}
+    return Configuration(
+        mapping=mapping,
+        fu_ops=fu_ops,
+        mux_select=mux_select,
+        used_nodes=frozenset(value_at),
+        value_at=value_at,
+    )

@@ -1,0 +1,566 @@
+"""The paper's contribution: architecture-agnostic ILP CGRA mapping.
+
+Builds the integer linear program of Section 4 from a DFG and an MRRG and
+solves it with an exact MILP backend.  Variable families:
+
+* ``F[p][q]`` — FuncUnit node ``p`` hosts operation ``q``;
+* ``R[i][j]`` — RouteRes node ``i`` carries value ``j``;
+* ``R[i][j][k]`` — RouteRes node ``i`` carries value ``j`` on its way to
+  sink ``k`` (the *sub-value* variables).
+
+Constraints map one-to-one to the paper's equations (1)-(9); the objective
+is (10), minimized routing-resource usage.  Resolved ambiguities (operand
+correctness, termination semantics of (5), soundness precondition of (9))
+are documented in DESIGN.md section 5.
+
+Implementation notes:
+
+* ``F`` variables are only created for legal (p, q) pairs, which realizes
+  constraint (3) *Functional Unit Legality* by omission; an option emits
+  the explicit ``F = 0`` rows for fidelity/ablation.
+* Per-value variable pruning: value ``j`` can only occupy route nodes
+  forward-reachable from a candidate producer output and
+  backward-reachable from a legal terminal of one of its sinks.
+* For single-sink values the sink-specific variable coincides with the
+  sink-agnostic one and is collapsed by default (pure optimization; an
+  ablation bench quantifies it).
+* ``split_sub_values=False`` reproduces the paper's Example 3 strawman
+  (routing whole values instead of sub-values) — an unsound formulation
+  whose wrong mappings our independent verifier catches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from collections.abc import Callable
+
+from ..dfg.graph import DFG, Sink
+from ..dfg.validate import assert_valid
+from ..ilp.expr import Sense, Var
+from ..ilp.model import Model
+from ..ilp.solve import solve
+from ..ilp.status import Solution, SolveStatus
+from ..mrrg.graph import MRRG, MRRGNode
+from .base import Mapper, MapResult, MapStatus
+from .mapping import Mapping
+from .verify import verify
+
+
+@dataclasses.dataclass
+class ILPMapperOptions:
+    """Knobs of the ILP mapper.
+
+    Attributes:
+        backend: "highs" (default) or "bnb" (the from-scratch solver).
+        time_limit: per-instance solver budget in seconds.
+        objective: "route_usage" (paper eq. 10), "weighted" (per-node
+            costs via ``node_weights``) or "none" (pure feasibility).
+        node_weights: cost callback for the weighted objective (e.g.
+            penalize registers for power as the paper suggests).
+        operand_mode: "strict" pins sub-value (q, o) to operand port o;
+            "commutative" lets commutative ops swap operand ports.
+        collapse_single_sink: share R[i][j] and R[i][j][k] variables for
+            single-sink values (an exact size optimization).
+        split_sub_values: route per sub-value (sound, the paper's
+            formulation).  False = Example 3's unsound whole-value mode.
+        mux_exclusivity: emit constraint (9).  False reproduces Example
+            2's self-reinforcing loop pathology.
+        explicit_legality: also emit paper constraint (3) as explicit
+            ``F = 0`` rows over the full (p, q) grid.
+        mip_rel_gap: relative gap stop for HiGHS (e.g. 1.0 to accept the
+            first incumbent when only feasibility matters).
+        use_presolve: run ``repro.ilp.presolve`` before the backend.
+        verify_result: run the independent legality verifier on every
+            extracted mapping and fail loudly on violations.
+    """
+
+    backend: str = "highs"
+    time_limit: float | None = None
+    objective: str = "route_usage"
+    node_weights: Callable[[MRRGNode], float] | None = None
+    operand_mode: str = "strict"
+    collapse_single_sink: bool = True
+    split_sub_values: bool = True
+    mux_exclusivity: bool = True
+    explicit_legality: bool = False
+    mip_rel_gap: float | None = None
+    use_presolve: bool = False
+    verify_result: bool = True
+
+    def __post_init__(self):
+        if self.objective not in ("route_usage", "weighted", "none"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if self.operand_mode not in ("strict", "commutative"):
+            raise ValueError(f"unknown operand_mode {self.operand_mode!r}")
+        if self.objective == "weighted" and self.node_weights is None:
+            raise ValueError("weighted objective requires node_weights")
+
+
+@dataclasses.dataclass
+class Formulation:
+    """The built model plus the variable maps needed for extraction."""
+
+    model: Model
+    # (fu node id, op name) -> Var
+    f_vars: dict[tuple[str, str], Var]
+    # (route node id, value producer) -> Var
+    r_vars: dict[tuple[str, str], Var]
+    # (route node id, value producer, sink) -> Var (may alias r_vars)
+    r3_vars: dict[tuple[str, str, Sink], Var]
+    # value producer -> sinks
+    sinks_of: dict[str, tuple[Sink, ...]]
+    infeasible_reason: str | None = None
+
+    def stats(self) -> dict[str, int]:
+        distinct_r3 = {id(v) for v in self.r3_vars.values()} - {
+            id(v) for v in self.r_vars.values()
+        }
+        return {
+            "f_vars": len(self.f_vars),
+            "r_vars": len(self.r_vars),
+            "r3_vars_distinct": len(distinct_r3),
+            "constraints": len(self.model.constraints),
+        }
+
+
+def build_formulation(
+    dfg: DFG, mrrg: MRRG, options: ILPMapperOptions | None = None
+) -> Formulation:
+    """Construct the ILP of paper section 4 for (dfg, mrrg)."""
+    options = options or ILPMapperOptions()
+    assert_valid(dfg)
+    model = Model(f"map_{dfg.name}_onto_{mrrg.name}")
+    empty = Formulation(model, {}, {}, {}, {})
+
+    # ------------------------------------------------------------------
+    # Sets: Ops, FuncUnits (via candidates), Vals and SubVals.
+    # ------------------------------------------------------------------
+    values = dfg.values()
+    sinks_of = {v.producer: v.sinks for v in values}
+    produces = {v.producer for v in values}
+
+    candidates: dict[str, list[MRRGNode]] = {}
+    for op in dfg.ops:
+        nodes = []
+        for fu in mrrg.function_nodes_supporting(op.opcode):
+            if op.name in produces and fu.output is None:
+                continue
+            if any(o not in fu.operand_ports for o in range(op.opcode.arity)):
+                continue
+            nodes.append(fu)
+        if not nodes:
+            empty.infeasible_reason = (
+                f"no functional unit can host {op.name!r} ({op.opcode})"
+            )
+            return empty
+        candidates[op.name] = nodes
+
+    # Legal terminal ports per sub-value (DESIGN.md 5.1/5.2).
+    terminal_ports: dict[tuple[str, Sink], dict[str, str]] = {}
+    for producer, sinks in sinks_of.items():
+        for sink in sinks:
+            op = dfg.op(sink.op)
+            allow_swap = (
+                options.operand_mode == "commutative"
+                and op.opcode.is_commutative
+                and op.opcode.arity == 2
+            )
+            ports: dict[str, str] = {}  # port node id -> owning FU node id
+            for fu in candidates[sink.op]:
+                if allow_swap:
+                    for pid in fu.operand_ports.values():
+                        ports[pid] = fu.node_id
+                else:
+                    ports[fu.operand_ports[sink.operand]] = fu.node_id
+            if not ports:
+                empty.infeasible_reason = f"no legal terminal for sub-value {sink}"
+                return empty
+            terminal_ports[(producer, sink)] = ports
+
+    # ------------------------------------------------------------------
+    # Per-value usable-node analysis (variable pruning).
+    # ------------------------------------------------------------------
+    out_sets: dict[str, set[str]] = {}
+    for producer in sinks_of:
+        starts = {fu.output for fu in candidates[producer] if fu.output}
+        out_sets[producer] = _forward_route_reach(mrrg, starts)
+
+    usable3: dict[tuple[str, Sink], set[str]] = {}
+    usable: dict[str, set[str]] = {}
+    for producer, sinks in sinks_of.items():
+        union: set[str] = set()
+        for sink in sinks:
+            bwd = _backward_route_reach(
+                mrrg, set(terminal_ports[(producer, sink)])
+            )
+            reach = out_sets[producer] & bwd
+            if not reach:
+                empty.infeasible_reason = (
+                    f"no routing path can deliver value {producer!r} to {sink}"
+                )
+                return empty
+            usable3[(producer, sink)] = reach
+            union |= reach
+        usable[producer] = union
+
+    # ------------------------------------------------------------------
+    # Variables.
+    # ------------------------------------------------------------------
+    f_vars: dict[tuple[str, str], Var] = {}
+    for op_name, fus in candidates.items():
+        for fu in fus:
+            f_vars[(fu.node_id, op_name)] = model.add_binary(
+                f"F[{fu.node_id}][{op_name}]"
+            )
+
+    if options.explicit_legality:
+        # Paper constraint (3) in explicit form over the full grid.
+        for op in dfg.ops:
+            legal = {fu.node_id for fu in candidates[op.name]}
+            for fu in mrrg.function_nodes():
+                if fu.node_id in legal:
+                    continue
+                var = model.add_binary(f"F[{fu.node_id}][{op.name}]")
+                model.add_terms([(var, 1.0)], Sense.EQ, 0.0, name="fu_legality")
+                f_vars[(fu.node_id, op.name)] = var
+
+    r_vars: dict[tuple[str, str], Var] = {}
+    for producer, nodes in usable.items():
+        for node_id in nodes:
+            r_vars[(node_id, producer)] = model.add_binary(
+                f"R[{node_id}][{producer}]"
+            )
+
+    r3_vars: dict[tuple[str, str, Sink], Var] = {}
+    for producer, sinks in sinks_of.items():
+        shared = (not options.split_sub_values) or (
+            len(sinks) == 1 and options.collapse_single_sink
+        )
+        for sink in sinks:
+            for node_id in usable3[(producer, sink)]:
+                if shared:
+                    r3_vars[(node_id, producer, sink)] = r_vars[(node_id, producer)]
+                else:
+                    r3_vars[(node_id, producer, sink)] = model.add_binary(
+                        f"R[{node_id}][{producer}][{sink}]"
+                    )
+
+    # ------------------------------------------------------------------
+    # Constraints.
+    # ------------------------------------------------------------------
+    # (1) Operation Placement: every op on exactly one functional unit.
+    for op_name, fus in candidates.items():
+        model.add_terms(
+            [(f_vars[(fu.node_id, op_name)], 1.0) for fu in fus],
+            Sense.EQ,
+            1.0,
+            name=f"placement[{op_name}]",
+        )
+
+    # (2) Functional Unit Exclusivity.
+    by_fu: dict[str, list[Var]] = {}
+    for (fu_id, _op), var in f_vars.items():
+        by_fu.setdefault(fu_id, []).append(var)
+    for fu_id, vars_ in by_fu.items():
+        if len(vars_) > 1:
+            model.add_terms(
+                [(v, 1.0) for v in vars_], Sense.LE, 1.0, name=f"fu_excl[{fu_id}]"
+            )
+
+    # (4) Route Exclusivity.
+    by_node: dict[str, list[Var]] = {}
+    for (node_id, _producer), var in r_vars.items():
+        by_node.setdefault(node_id, []).append(var)
+    for node_id, vars_ in by_node.items():
+        if len(vars_) > 1:
+            model.add_terms(
+                [(v, 1.0) for v in vars_],
+                Sense.LE,
+                1.0,
+                name=f"route_excl[{node_id}]",
+            )
+
+    # (5) Fanout Routing + (6) Implied Placement + (7) Initial Fanout.
+    for producer, sinks in sinks_of.items():
+        value_shared = not options.split_sub_values
+        sink_groups: list[tuple[tuple[Sink, ...], bool]]
+        if value_shared:
+            sink_groups = [(sinks, True)]
+        else:
+            sink_groups = [((sink,), False) for sink in sinks]
+
+        for group, grouped in sink_groups:
+            terminals: set[str] = set()
+            for sink in group:
+                terminals |= set(terminal_ports[(producer, sink)])
+            reach: set[str] = set()
+            for sink in group:
+                reach |= usable3[(producer, sink)]
+
+            # (5): continue the route at every non-terminal node.
+            if grouped:
+                def getvar(m: str) -> Var | None:
+                    return r_vars.get((m, producer))
+            else:
+                rep = group[0]
+
+                def getvar(m: str) -> Var | None:
+                    return r3_vars.get((m, producer, rep))
+
+            for node_id in reach:
+                if node_id in terminals:
+                    continue
+                var = getvar(node_id)
+                if var is None:
+                    continue
+                fanout_vars = [
+                    v
+                    for v in (getvar(m) for m in mrrg.route_fanouts(node_id))
+                    if v is not None
+                ]
+                terms = [(var, 1.0)] + [(v, -1.0) for v in fanout_vars]
+                model.add_terms(
+                    terms, Sense.LE, 0.0, name=f"fanout[{node_id}][{producer}]"
+                )
+
+            # (6): termination implies downstream placement.
+            for sink in group:
+                for port_id, fu_id in terminal_ports[(producer, sink)].items():
+                    var = r3_vars.get((port_id, producer, sink))
+                    if var is None:
+                        continue
+                    if grouped:
+                        # Example 3 strawman: any consumer may claim the port.
+                        fvars = [
+                            f_vars[(fu_id, s.op)]
+                            for s in group
+                            if (fu_id, s.op) in f_vars
+                        ]
+                        terms = [(var, 1.0)] + [(f, -1.0) for f in fvars]
+                        model.add_terms(
+                            terms,
+                            Sense.LE,
+                            0.0,
+                            name=f"implied[{port_id}][{producer}]",
+                        )
+                    else:
+                        fvar = f_vars[(fu_id, sink.op)]
+                        model.add_terms(
+                            [(var, 1.0), (fvar, -1.0)],
+                            Sense.LE,
+                            0.0,
+                            name=f"implied[{port_id}][{producer}][{sink}]",
+                        )
+
+        # (7): the producer's output starts every sub-value route.
+        for fu in candidates[producer]:
+            assert fu.output is not None
+            fvar = f_vars[(fu.node_id, producer)]
+            start_vars = [r3_vars.get((fu.output, producer, s)) for s in sinks]
+            if options.split_sub_values:
+                unroutable = any(v is None for v in start_vars)
+            else:
+                unroutable = all(v is None for v in start_vars)
+            if unroutable:
+                # The output cannot reach (all of) the sinks: placing the
+                # producer on this unit is impossible.
+                model.add_terms(
+                    [(fvar, 1.0)],
+                    Sense.EQ,
+                    0.0,
+                    name=f"unroutable[{fu.node_id}][{producer}]",
+                )
+                continue
+            emitted: set[int] = set()
+            for sink, var in zip(sinks, start_vars):
+                if var is None or id(var) in emitted:
+                    continue
+                emitted.add(id(var))
+                model.add_terms(
+                    [(var, 1.0), (fvar, -1.0)],
+                    Sense.EQ,
+                    0.0,
+                    name=f"initial[{fu.output}][{producer}][{sink}]",
+                )
+
+        # (8): sink-agnostic usage covers every sink-specific route.
+        for sink in sinks:
+            for node_id in usable3[(producer, sink)]:
+                r3 = r3_vars[(node_id, producer, sink)]
+                r = r_vars[(node_id, producer)]
+                if r3 is r:
+                    continue
+                model.add_terms(
+                    [(r, 1.0), (r3, -1.0)],
+                    Sense.GE,
+                    0.0,
+                    name=f"usage[{node_id}][{producer}][{sink}]",
+                )
+
+    # (9) Multiplexer Input Exclusivity.
+    if options.mux_exclusivity:
+        for node in mrrg.route_nodes():
+            fanins = mrrg.route_fanins(node.node_id)
+            if len(fanins) <= 1:
+                continue
+            for producer in sinks_of:
+                rvar = r_vars.get((node.node_id, producer))
+                fanin_vars = [
+                    r_vars[(m, producer)]
+                    for m in fanins
+                    if (m, producer) in r_vars
+                ]
+                if rvar is None and not fanin_vars:
+                    continue
+                terms = [(v, 1.0) for v in fanin_vars]
+                if rvar is not None:
+                    terms.append((rvar, -1.0))
+                model.add_terms(
+                    terms,
+                    Sense.EQ,
+                    0.0,
+                    name=f"mux_excl[{node.node_id}][{producer}]",
+                )
+
+    # (10) Objective: minimize routing resource usage.
+    if options.objective == "route_usage":
+        model.minimize(
+            _objective_expr(model, r_vars, lambda node: 1.0, mrrg)
+        )
+    elif options.objective == "weighted":
+        assert options.node_weights is not None
+        model.minimize(_objective_expr(model, r_vars, options.node_weights, mrrg))
+    else:
+        model.minimize(0.0)
+
+    return Formulation(model, f_vars, r_vars, r3_vars, sinks_of)
+
+
+def _objective_expr(model, r_vars, weight_fn, mrrg):
+    from ..ilp.expr import LinExpr
+
+    pairs = [
+        (var, float(weight_fn(mrrg.node(node_id))))
+        for (node_id, _producer), var in r_vars.items()
+    ]
+    return LinExpr.from_terms(pairs)
+
+
+def _forward_route_reach(mrrg: MRRG, starts: set[str]) -> set[str]:
+    seen = set(starts)
+    queue = deque(starts)
+    while queue:
+        current = queue.popleft()
+        for nxt in mrrg.route_fanouts(current):
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return seen
+
+
+def _backward_route_reach(mrrg: MRRG, starts: set[str]) -> set[str]:
+    seen = set(starts)
+    queue = deque(starts)
+    while queue:
+        current = queue.popleft()
+        for prev in mrrg.route_fanins(current):
+            if prev not in seen:
+                seen.add(prev)
+                queue.append(prev)
+    return seen
+
+
+class ILPMapper(Mapper):
+    """Maps a DFG onto an MRRG by solving the section-4 ILP."""
+
+    name = "ilp"
+
+    def __init__(self, options: ILPMapperOptions | None = None):
+        self.options = options or ILPMapperOptions()
+
+    def map(self, dfg: DFG, mrrg: MRRG) -> MapResult:
+        """Build and solve the formulation; extract and verify the mapping."""
+        opts = self.options
+        start = time.perf_counter()
+        formulation = build_formulation(dfg, mrrg, opts)
+        formulation_time = time.perf_counter() - start
+        if formulation.infeasible_reason is not None:
+            return MapResult(
+                status=MapStatus.INFEASIBLE,
+                formulation_time=formulation_time,
+                detail=formulation.infeasible_reason,
+                proven_optimal=True,
+            )
+
+        solution = solve(
+            formulation.model,
+            backend=opts.backend,
+            time_limit=opts.time_limit,
+            mip_rel_gap=opts.mip_rel_gap,
+            use_presolve=opts.use_presolve,
+        )
+        return self._to_result(dfg, mrrg, formulation, solution, formulation_time)
+
+    def _to_result(
+        self,
+        dfg: DFG,
+        mrrg: MRRG,
+        formulation: Formulation,
+        solution: Solution,
+        formulation_time: float,
+    ) -> MapResult:
+        if solution.status is SolveStatus.INFEASIBLE:
+            status = MapStatus.INFEASIBLE
+        elif solution.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE):
+            status = MapStatus.MAPPED
+        elif solution.status is SolveStatus.TIMEOUT:
+            status = MapStatus.TIMEOUT
+        else:
+            status = MapStatus.ERROR
+
+        mapping = None
+        detail = solution.message
+        if status is MapStatus.MAPPED:
+            mapping = extract_mapping(dfg, mrrg, formulation, solution)
+            if self.options.verify_result:
+                issues = verify(
+                    mapping,
+                    strict_operands=self.options.operand_mode == "strict"
+                    and self.options.split_sub_values,
+                )
+                if issues:
+                    status = MapStatus.ERROR
+                    detail = "extracted mapping failed verification: " + "; ".join(
+                        issues[:5]
+                    )
+        return MapResult(
+            status=status,
+            mapping=mapping,
+            objective=solution.objective,
+            proven_optimal=solution.status is SolveStatus.OPTIMAL
+            or status is MapStatus.INFEASIBLE,
+            formulation_time=formulation_time,
+            solve_time=solution.wall_time,
+            detail=detail,
+        )
+
+
+def extract_mapping(
+    dfg: DFG, mrrg: MRRG, formulation: Formulation, solution: Solution
+) -> Mapping:
+    """Read placement and routes out of a solved formulation."""
+    placement: dict[str, str] = {}
+    for (fu_id, op_name), var in formulation.f_vars.items():
+        if solution.is_set(var):
+            placement[op_name] = fu_id
+    routes: dict[tuple[str, Sink], frozenset[str]] = {}
+    used: dict[tuple[str, Sink], set[str]] = {}
+    for (node_id, producer, sink), var in formulation.r3_vars.items():
+        if solution.is_set(var):
+            used.setdefault((producer, sink), set()).add(node_id)
+    for producer, sinks in formulation.sinks_of.items():
+        for sink in sinks:
+            routes[(producer, sink)] = frozenset(used.get((producer, sink), set()))
+    return Mapping(dfg=dfg, mrrg=mrrg, placement=placement, routes=routes)

@@ -1,0 +1,120 @@
+"""Mapping result model.
+
+A mapping associates the DFG with the MRRG (paper section 3.3): every
+operation is placed on a FuncUnit node, and every value is routed through
+RouteRes nodes to each of its sinks (one route per *sub-value*).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from ..dfg.graph import DFG, Sink
+from ..mrrg.graph import MRRG
+
+
+@dataclasses.dataclass
+class Mapping:
+    """A complete placement + routing of a DFG onto an MRRG.
+
+    Attributes:
+        dfg: the mapped application.
+        mrrg: the target modulo routing resource graph.
+        placement: op name -> FuncUnit node id.
+        routes: (value producer, sink) -> route node ids used to carry the
+            value from the producer's output to that sink.
+    """
+
+    dfg: DFG
+    mrrg: MRRG
+    placement: dict[str, str]
+    routes: dict[tuple[str, Sink], frozenset[str]]
+
+    def fu_of(self, op_name: str) -> str:
+        """FuncUnit node hosting ``op_name``."""
+        return self.placement[op_name]
+
+    def route_of(self, producer: str, sink: Sink) -> frozenset[str]:
+        """Route node set of one sub-value."""
+        return self.routes[(producer, sink)]
+
+    def nodes_used_by_value(self) -> dict[str, set[str]]:
+        """Route node id -> set of value producers using it."""
+        usage: dict[str, set[str]] = defaultdict(set)
+        for (producer, _sink), nodes in self.routes.items():
+            for node in nodes:
+                usage[node].add(producer)
+        return dict(usage)
+
+    def routing_cost(self) -> int:
+        """Number of distinct (node, value) routing uses — the paper's
+        objective (10), evaluated on this mapping."""
+        return sum(len(vals) for vals in self.nodes_used_by_value().values())
+
+    def route_nodes_used(self) -> set[str]:
+        """All route nodes used by any value."""
+        return set(self.nodes_used_by_value())
+
+    def summary(self) -> str:
+        """Short human-readable description."""
+        return (
+            f"mapping of {self.dfg.name!r} onto {self.mrrg.name!r}: "
+            f"{len(self.placement)} ops placed, "
+            f"{len(self.routes)} sub-values routed, "
+            f"routing cost {self.routing_cost()}"
+        )
+
+    def to_text(self) -> str:
+        """Full placement/routing report."""
+        lines = [self.summary(), "", "placement:"]
+        for op_name in self.dfg.op_names:
+            fu = self.placement.get(op_name, "<unplaced>")
+            lines.append(f"  {op_name:<20} -> {fu}")
+        lines.append("")
+        lines.append("routes:")
+        for (producer, sink), nodes in sorted(
+            self.routes.items(), key=lambda kv: (kv[0][0], kv[0][1].op, kv[0][1].operand)
+        ):
+            ordered = order_route(self, producer, sink)
+            shown = " -> ".join(ordered) if ordered else ", ".join(sorted(nodes))
+            lines.append(f"  {producer} => {sink}: {shown}")
+        return "\n".join(lines) + "\n"
+
+
+def order_route(mapping: Mapping, producer: str, sink: Sink) -> list[str]:
+    """Linearize a sub-value's route from source to sink port, if possible.
+
+    Returns the node sequence from the producer FU's output node to the
+    consumer's operand port, walking only nodes in the route set.  Returns
+    an empty list when the set does not contain such a path (the verifier
+    reports that as an error).
+    """
+    nodes = mapping.routes.get((producer, sink))
+    if not nodes:
+        return []
+    mrrg = mapping.mrrg
+    src_fu = mapping.placement.get(producer)
+    dst_fu = mapping.placement.get(sink.op)
+    if src_fu is None or dst_fu is None:
+        return []
+    start = mrrg.node(src_fu).output
+    if start not in nodes:
+        return []
+    targets = {
+        pid for pid in mrrg.node(dst_fu).operand_ports.values() if pid in nodes
+    }
+    if not targets:
+        return []
+    # BFS within the used set for a shortest linearization.
+    frontier: list[list[str]] = [[start]]
+    seen = {start}
+    while frontier:
+        path = frontier.pop(0)
+        if path[-1] in targets:
+            return path
+        for nxt in mrrg.fanouts(path[-1]):
+            if nxt in nodes and nxt not in seen:
+                seen.add(nxt)
+                frontier.append(path + [nxt])
+    return []

@@ -1,0 +1,215 @@
+"""Simulated-annealing CGRA mapper (the paper's baseline, cf. DRESC/SPR).
+
+Random placement moves over FuncUnit nodes with a negotiated-congestion
+router in the inner loop; the cost rewards fully-routed, congestion-free
+mappings.  Unlike the ILP mapper this is a heuristic: a failure to map
+says nothing about true feasibility — exactly the gap Fig. 8 of the paper
+quantifies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+import time
+
+from ..dfg.graph import DFG
+from ..mrrg.graph import MRRG
+from .base import Mapper, MapResult, MapStatus
+from .router import mapping_from_routing, route_all
+from .verify import verify
+
+
+@dataclasses.dataclass
+class SAMapperOptions:
+    """Annealing-schedule knobs ("moderate parameters" in the paper).
+
+    Attributes:
+        seed: RNG seed (results are deterministic given a seed).
+        initial_temperature / final_temperature / cooling: geometric
+            temperature schedule.
+        moves_per_temperature: inner-loop moves at each temperature.
+        overuse_penalty: congestion penalty handed to the router.
+        restarts: independent annealing runs before giving up.
+        time_limit: overall wall-clock budget in seconds (None = none).
+        strict_operands: route each operand to its own port (matches the
+            ILP mapper's default semantics).
+    """
+
+    seed: int = 1
+    initial_temperature: float = 20.0
+    final_temperature: float = 0.05
+    cooling: float = 0.9
+    moves_per_temperature: int = 64
+    overuse_penalty: float = 10.0
+    restarts: int = 2
+    time_limit: float | None = None
+    strict_operands: bool = True
+
+
+class SAMapper(Mapper):
+    """Simulated-annealing placer with congestion-negotiating router."""
+
+    name = "sa"
+
+    def __init__(self, options: SAMapperOptions | None = None):
+        self.options = options or SAMapperOptions()
+
+    def map(self, dfg: DFG, mrrg: MRRG) -> MapResult:
+        opts = self.options
+        start = time.perf_counter()
+        rng = random.Random(opts.seed)
+
+        candidates = _candidates(dfg, mrrg)
+        if candidates is None:
+            return MapResult(
+                status=MapStatus.GAVE_UP,
+                solve_time=time.perf_counter() - start,
+                detail="some operation has no hosting functional unit",
+            )
+
+        best_cost = math.inf
+        best: tuple[dict[str, str], object] | None = None
+        for restart in range(max(1, opts.restarts)):
+            if self._out_of_time(start):
+                break
+            outcome = self._anneal(dfg, mrrg, candidates, rng, start)
+            if outcome is None:
+                continue
+            placement, routing = outcome
+            if routing.cost < best_cost:
+                best_cost = routing.cost
+                best = (placement, routing)
+            if routing.overuse == 0 and not routing.unrouted:
+                break
+
+        elapsed = time.perf_counter() - start
+        if best is None:
+            return MapResult(
+                status=MapStatus.GAVE_UP,
+                solve_time=elapsed,
+                detail="no placement attempt completed",
+            )
+        placement, routing = best
+        if routing.overuse == 0 and not routing.unrouted:
+            mapping = mapping_from_routing(dfg, mrrg, placement, routing)
+            issues = verify(mapping, strict_operands=opts.strict_operands)
+            if issues:
+                return MapResult(
+                    status=MapStatus.ERROR,
+                    solve_time=elapsed,
+                    detail="SA mapping failed verification: " + "; ".join(issues[:5]),
+                )
+            return MapResult(
+                status=MapStatus.MAPPED,
+                mapping=mapping,
+                objective=float(mapping.routing_cost()),
+                proven_optimal=False,
+                solve_time=elapsed,
+            )
+        return MapResult(
+            status=MapStatus.GAVE_UP,
+            solve_time=elapsed,
+            detail=(
+                f"best attempt left overuse={routing.overuse}, "
+                f"unrouted={len(routing.unrouted)}"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _out_of_time(self, start: float) -> bool:
+        limit = self.options.time_limit
+        return limit is not None and time.perf_counter() - start > limit
+
+    def _anneal(self, dfg, mrrg, candidates, rng, start):
+        opts = self.options
+        placement = _random_placement(dfg, candidates, rng)
+        if placement is None:
+            return None
+        routing = route_all(
+            dfg, placement, mrrg,
+            overuse_penalty=opts.overuse_penalty,
+            strict_operands=opts.strict_operands,
+        )
+        cost = routing.cost
+        temperature = opts.initial_temperature
+        op_names = [op.name for op in dfg.ops]
+
+        while temperature > opts.final_temperature:
+            for _ in range(opts.moves_per_temperature):
+                if self._out_of_time(start):
+                    return placement, routing
+                if routing.overuse == 0 and not routing.unrouted:
+                    return placement, routing
+                op = rng.choice(op_names)
+                new_placement = _move(placement, op, candidates, rng)
+                if new_placement is None:
+                    continue
+                new_routing = route_all(
+                    dfg, new_placement, mrrg,
+                    overuse_penalty=opts.overuse_penalty,
+                    strict_operands=opts.strict_operands,
+                )
+                delta = new_routing.cost - cost
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    placement, routing, cost = new_placement, new_routing, new_routing.cost
+            temperature *= opts.cooling
+        return placement, routing
+
+
+def _candidates(dfg: DFG, mrrg: MRRG) -> dict[str, list[str]] | None:
+    produces = {v.producer for v in dfg.values()}
+    result: dict[str, list[str]] = {}
+    for op in dfg.ops:
+        fus = []
+        for fu in mrrg.function_nodes_supporting(op.opcode):
+            if op.name in produces and fu.output is None:
+                continue
+            if any(o not in fu.operand_ports for o in range(op.opcode.arity)):
+                continue
+            fus.append(fu.node_id)
+        if not fus:
+            return None
+        result[op.name] = fus
+    return result
+
+
+def _random_placement(
+    dfg: DFG, candidates: dict[str, list[str]], rng: random.Random
+) -> dict[str, str] | None:
+    """Greedy randomized placement: most-constrained ops first."""
+    placement: dict[str, str] = {}
+    taken: set[str] = set()
+    for op_name in sorted(candidates, key=lambda name: len(candidates[name])):
+        free = [fu for fu in candidates[op_name] if fu not in taken]
+        if not free:
+            return None
+        choice = rng.choice(free)
+        placement[op_name] = choice
+        taken.add(choice)
+    return placement
+
+
+def _move(
+    placement: dict[str, str],
+    op: str,
+    candidates: dict[str, list[str]],
+    rng: random.Random,
+) -> dict[str, str] | None:
+    """Move ``op`` to a random candidate FU; swap when occupied."""
+    target = rng.choice(candidates[op])
+    if target == placement[op]:
+        return None
+    new_placement = dict(placement)
+    occupant = next(
+        (name for name, fu in placement.items() if fu == target), None
+    )
+    if occupant is not None:
+        # Swap only when the displaced op can live on our current FU.
+        source = placement[op]
+        if source not in candidates[occupant]:
+            return None
+        new_placement[occupant] = source
+    new_placement[op] = target
+    return new_placement

@@ -1,0 +1,109 @@
+"""JSON serialization of mappings.
+
+Lets a mapping produced by one tool stage (the ILP mapper) be stored and
+reloaded by another (configuration generation, simulation, visualization)
+without re-solving — the practical glue a downstream toolflow needs.
+
+The JSON carries identifiers only; loading requires the same DFG and MRRG
+(checked via name, II and structural membership of every referenced id).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..dfg.graph import DFG, Sink
+from ..mrrg.graph import MRRG
+from .mapping import Mapping
+
+FORMAT_VERSION = 1
+
+
+class MappingFormatError(ValueError):
+    """Raised when mapping JSON is malformed or inconsistent."""
+
+
+def mapping_to_json(mapping: Mapping, indent: int | None = None) -> str:
+    """Serialize a mapping to JSON text."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "dfg": mapping.dfg.name,
+        "mrrg": mapping.mrrg.name,
+        "ii": mapping.mrrg.ii,
+        "placement": dict(sorted(mapping.placement.items())),
+        "routes": [
+            {
+                "value": producer,
+                "sink_op": sink.op,
+                "operand": sink.operand,
+                "nodes": sorted(nodes),
+            }
+            for (producer, sink), nodes in sorted(
+                mapping.routes.items(),
+                key=lambda kv: (kv[0][0], kv[0][1].op, kv[0][1].operand),
+            )
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def mapping_from_json(text: str, dfg: DFG, mrrg: MRRG) -> Mapping:
+    """Reconstruct a mapping against the given DFG and MRRG.
+
+    Raises:
+        MappingFormatError: on malformed JSON, version mismatch, or any
+            reference to ops/nodes that do not exist in ``dfg``/``mrrg``.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise MappingFormatError(f"invalid JSON: {exc}") from None
+    if payload.get("format") != FORMAT_VERSION:
+        raise MappingFormatError(
+            f"unsupported mapping format {payload.get('format')!r}"
+        )
+    if payload.get("dfg") != dfg.name:
+        raise MappingFormatError(
+            f"mapping is for DFG {payload.get('dfg')!r}, not {dfg.name!r}"
+        )
+    if payload.get("ii") != mrrg.ii:
+        raise MappingFormatError(
+            f"mapping was made for II={payload.get('ii')}, MRRG has II={mrrg.ii}"
+        )
+
+    placement = {}
+    for op_name, fu_id in payload.get("placement", {}).items():
+        if op_name not in dfg:
+            raise MappingFormatError(f"unknown op {op_name!r} in placement")
+        if fu_id not in mrrg:
+            raise MappingFormatError(f"unknown MRRG node {fu_id!r} in placement")
+        placement[op_name] = fu_id
+
+    routes = {}
+    for entry in payload.get("routes", []):
+        try:
+            producer = entry["value"]
+            sink = Sink(entry["sink_op"], int(entry["operand"]))
+            nodes = entry["nodes"]
+        except (KeyError, TypeError) as exc:
+            raise MappingFormatError(f"malformed route entry: {exc}") from None
+        if producer not in dfg or sink.op not in dfg:
+            raise MappingFormatError(
+                f"route references unknown ops {producer!r}->{sink.op!r}"
+            )
+        for node in nodes:
+            if node not in mrrg:
+                raise MappingFormatError(f"unknown MRRG node {node!r} in route")
+        routes[(producer, sink)] = frozenset(nodes)
+
+    return Mapping(dfg=dfg, mrrg=mrrg, placement=placement, routes=routes)
+
+
+def save_mapping(mapping: Mapping, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(mapping_to_json(mapping, indent=2) + "\n")
+
+
+def load_mapping(path: str, dfg: DFG, mrrg: MRRG) -> Mapping:
+    with open(path, encoding="utf-8") as handle:
+        return mapping_from_json(handle.read(), dfg, mrrg)

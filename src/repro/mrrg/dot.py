@@ -1,0 +1,34 @@
+"""Graphviz (DOT) export for MRRGs."""
+
+from __future__ import annotations
+
+from .graph import MRRG
+
+
+def to_dot(mrrg: MRRG, max_nodes: int | None = None) -> str:
+    """Render an MRRG as DOT, clustered by context.
+
+    Args:
+        mrrg: graph to render.
+        max_nodes: truncate enormous graphs (None = no limit).
+    """
+    lines = [f'digraph "{mrrg.name}" {{', "  rankdir=LR;"]
+    emitted: set[str] = set()
+    for ctx in range(mrrg.ii):
+        lines.append(f"  subgraph cluster_ctx{ctx} {{")
+        lines.append(f'    label="context {ctx}";')
+        for node in mrrg.nodes:
+            if node.context != ctx:
+                continue
+            if max_nodes is not None and len(emitted) >= max_nodes:
+                break
+            shape = "box" if node.is_function else "ellipse"
+            label = f"{node.path}.{node.tag}"
+            lines.append(f'    "{node.node_id}" [shape={shape}, label="{label}"];')
+            emitted.add(node.node_id)
+        lines.append("  }")
+    for src, dst in mrrg.edges():
+        if src in emitted and dst in emitted:
+            lines.append(f'  "{src}" -> "{dst}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,224 @@
+"""Modulo Routing Resource Graph (MRRG) data structure.
+
+The MRRG (paper section 3.2) is a directed graph with two vertex kinds:
+
+* **FuncUnit** nodes — execution time-slots of physical functional units;
+* **RouteRes** nodes — wires, multiplexers and registers at a time-slot.
+
+The graph contains a replica of the device model per context; edges whose
+endpoints live in different contexts model values crossing cycles
+(registers, multi-cycle functional units), wrapping modulo the initiation
+interval.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Iterable, Iterator
+
+from ..dfg.opcodes import OpCode
+
+
+class MRRGError(ValueError):
+    """Raised for invalid MRRG construction or queries."""
+
+
+class NodeKind(enum.Enum):
+    """Vertex kind: functional-unit slot or routing resource."""
+
+    FUNCTION = "function"
+    ROUTE = "route"
+
+
+@dataclasses.dataclass
+class MRRGNode:
+    """One MRRG vertex.
+
+    Attributes:
+        node_id: unique id, ``"c<ctx>:<primitive path>.<tag>"``.
+        kind: FUNCTION or ROUTE.
+        context: the context (cycle slot) the node belongs to.
+        path: hierarchical path of the originating primitive.
+        tag: role within the primitive ("in0", "mux", "out", "fu", ...).
+        ops: supported opcodes (FUNCTION nodes only).
+        operand: for ROUTE nodes that are FU operand ports, the operand
+            index they feed; None otherwise.
+        fu: for FU operand-port ROUTE nodes, the id of the FUNCTION node
+            they feed; None otherwise.
+        operand_ports: for FUNCTION nodes, operand index -> port node id.
+        output: for FUNCTION nodes, the id of the output ROUTE node.
+    """
+
+    node_id: str
+    kind: NodeKind
+    context: int
+    path: str
+    tag: str
+    ops: frozenset[OpCode] | None = None
+    operand: int | None = None
+    fu: str | None = None
+    operand_ports: dict[int, str] = dataclasses.field(default_factory=dict)
+    output: str | None = None
+
+    @property
+    def is_function(self) -> bool:
+        return self.kind is NodeKind.FUNCTION
+
+    @property
+    def is_route(self) -> bool:
+        return self.kind is NodeKind.ROUTE
+
+    def supports(self, opcode: OpCode) -> bool:
+        return self.kind is NodeKind.FUNCTION and opcode in (self.ops or ())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MRRGNode({self.node_id!r}, {self.kind.value})"
+
+
+def node_id(context: int, path: str, tag: str) -> str:
+    """Canonical node id format."""
+    return f"c{context}:{path}.{tag}"
+
+
+class MRRG:
+    """The modulo routing resource graph."""
+
+    def __init__(self, name: str, ii: int):
+        if ii < 1:
+            raise MRRGError("initiation interval must be >= 1")
+        self.name = name
+        self.ii = ii
+        self._nodes: dict[str, MRRGNode] = {}
+        self._fanouts: dict[str, list[str]] = {}
+        self._fanins: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: MRRGNode) -> MRRGNode:
+        if node.node_id in self._nodes:
+            raise MRRGError(f"duplicate MRRG node {node.node_id!r}")
+        if not 0 <= node.context < self.ii:
+            raise MRRGError(
+                f"node {node.node_id!r} context {node.context} outside II={self.ii}"
+            )
+        self._nodes[node.node_id] = node
+        self._fanouts[node.node_id] = []
+        self._fanins[node.node_id] = []
+        return node
+
+    def add_edge(self, src: str, dst: str) -> None:
+        if src not in self._nodes:
+            raise MRRGError(f"edge source {src!r} does not exist")
+        if dst not in self._nodes:
+            raise MRRGError(f"edge target {dst!r} does not exist")
+        if self._nodes[src].is_function and self._nodes[dst].is_function:
+            raise MRRGError(f"illegal FuncUnit->FuncUnit edge {src!r} -> {dst!r}")
+        if dst in self._fanouts[src]:
+            raise MRRGError(f"duplicate edge {src!r} -> {dst!r}")
+        self._fanouts[src].append(dst)
+        self._fanins[dst].append(src)
+
+    def remove_node(self, node_id_: str) -> None:
+        """Remove a node and all incident edges."""
+        self.node(node_id_)  # raise if absent
+        for dst in self._fanouts.pop(node_id_):
+            self._fanins[dst].remove(node_id_)
+        for src in self._fanins.pop(node_id_):
+            self._fanouts[src].remove(node_id_)
+        del self._nodes[node_id_]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id_: str) -> bool:
+        return node_id_ in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id_: str) -> MRRGNode:
+        try:
+            return self._nodes[node_id_]
+        except KeyError:
+            raise MRRGError(f"no MRRG node {node_id_!r}") from None
+
+    @property
+    def nodes(self) -> Iterator[MRRGNode]:
+        return iter(self._nodes.values())
+
+    @property
+    def node_ids(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def fanouts(self, node_id_: str) -> tuple[str, ...]:
+        return tuple(self._fanouts[node_id_])
+
+    def fanins(self, node_id_: str) -> tuple[str, ...]:
+        return tuple(self._fanins[node_id_])
+
+    def route_fanouts(self, node_id_: str) -> tuple[str, ...]:
+        return tuple(
+            n for n in self._fanouts[node_id_] if self._nodes[n].is_route
+        )
+
+    def route_fanins(self, node_id_: str) -> tuple[str, ...]:
+        return tuple(n for n in self._fanins[node_id_] if self._nodes[n].is_route)
+
+    def function_nodes(self) -> tuple[MRRGNode, ...]:
+        return tuple(n for n in self._nodes.values() if n.is_function)
+
+    def route_nodes(self) -> tuple[MRRGNode, ...]:
+        return tuple(n for n in self._nodes.values() if n.is_route)
+
+    def function_nodes_supporting(self, opcode: OpCode) -> tuple[MRRGNode, ...]:
+        return tuple(n for n in self.function_nodes() if n.supports(opcode))
+
+    def num_edges(self) -> int:
+        return sum(len(v) for v in self._fanouts.values())
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        for src, dsts in self._fanouts.items():
+            for dst in dsts:
+                yield (src, dst)
+
+    def copy(self) -> "MRRG":
+        clone = MRRG(self.name, self.ii)
+        for node in self._nodes.values():
+            clone.add_node(dataclasses.replace(
+                node, operand_ports=dict(node.operand_ports)
+            ))
+        for src, dst in self.edges():
+            clone.add_edge(src, dst)
+        return clone
+
+    def subgraph(self, keep: Iterable[str]) -> "MRRG":
+        """Induced subgraph on ``keep`` (drops dangling FU port references)."""
+        keep_set = set(keep)
+        clone = MRRG(self.name, self.ii)
+        for nid in self._nodes:
+            if nid not in keep_set:
+                continue
+            node = self._nodes[nid]
+            replacement = dataclasses.replace(
+                node,
+                operand_ports={
+                    op: pid
+                    for op, pid in node.operand_ports.items()
+                    if pid in keep_set
+                },
+                output=node.output if node.output in keep_set else None,
+                fu=node.fu if node.fu in keep_set else None,
+            )
+            clone.add_node(replacement)
+        for src, dst in self.edges():
+            if src in keep_set and dst in keep_set:
+                clone.add_edge(src, dst)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MRRG({self.name!r}, ii={self.ii}, nodes={len(self._nodes)}, "
+            f"edges={self.num_edges()})"
+        )

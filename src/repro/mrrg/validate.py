@@ -1,0 +1,78 @@
+"""Structural validation of MRRGs.
+
+Beyond basic well-formedness, this enforces the invariant required for the
+soundness of the paper's constraint (9), *Multiplexer Input Exclusivity*
+(DESIGN.md section 5.3): every fan-in of a multi-fan-in RouteRes node must
+be a dedicated node whose sole fanout is that node.  Without it, the
+equality form of (9) would force spurious resource usage for values merely
+passing nearby.
+"""
+
+from __future__ import annotations
+
+from .graph import MRRG
+
+
+class MRRGValidationError(ValueError):
+    """Raised by :func:`assert_valid` for a structurally unsound MRRG."""
+
+    def __init__(self, issues: list[str]):
+        super().__init__("; ".join(issues[:10]))
+        self.issues = issues
+
+
+def check(mrrg: MRRG) -> list[str]:
+    """Collect structural problems (empty list = valid)."""
+    issues: list[str] = []
+    for node in mrrg.nodes:
+        if node.is_function:
+            for operand, port_id in node.operand_ports.items():
+                if port_id not in mrrg:
+                    issues.append(
+                        f"{node.node_id}: operand {operand} port {port_id!r} missing"
+                    )
+                elif node.node_id not in mrrg.fanouts(port_id):
+                    issues.append(
+                        f"{node.node_id}: operand port {port_id} does not feed it"
+                    )
+            if node.output is not None:
+                if node.output not in mrrg:
+                    issues.append(f"{node.node_id}: output {node.output!r} missing")
+                elif node.output not in mrrg.fanouts(node.node_id):
+                    issues.append(
+                        f"{node.node_id}: no edge to its output {node.output}"
+                    )
+            for fanin in mrrg.fanins(node.node_id):
+                fanin_node = mrrg.node(fanin)
+                if fanin_node.fu != node.node_id:
+                    issues.append(
+                        f"{node.node_id}: fan-in {fanin} is not one of its "
+                        "operand ports"
+                    )
+        else:
+            # Mux-input invariant for constraint (9).
+            fanins = mrrg.fanins(node.node_id)
+            route_fanins = [f for f in fanins if mrrg.node(f).is_route]
+            if len(fanins) > 1:
+                for fanin in route_fanins:
+                    if len(mrrg.fanouts(fanin)) != 1:
+                        issues.append(
+                            f"{node.node_id}: multi-fan-in node has shared "
+                            f"fan-in {fanin} (violates mux-input invariant)"
+                        )
+                fu_fanins = [f for f in fanins if mrrg.node(f).is_function]
+                if fu_fanins:
+                    issues.append(
+                        f"{node.node_id}: mixes FuncUnit fan-in "
+                        f"{fu_fanins[0]} with other drivers"
+                    )
+            if node.fu is not None and node.fu not in mrrg:
+                issues.append(f"{node.node_id}: references missing FU {node.fu!r}")
+    return issues
+
+
+def assert_valid(mrrg: MRRG) -> None:
+    """Raise :class:`MRRGValidationError` when invalid."""
+    issues = check(mrrg)
+    if issues:
+        raise MRRGValidationError(issues)

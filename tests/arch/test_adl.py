@@ -1,0 +1,132 @@
+"""Tests for the XML architecture description language."""
+
+import pytest
+
+from repro.arch import (
+    ADLError,
+    Architecture,
+    parse_architecture,
+    paper_architecture,
+    serialize_architecture,
+)
+from repro.arch.adl import load, save
+from repro.arch.module import Module
+from repro.arch.primitives import FunctionalUnit, Multiplexer
+from repro.dfg import OpCode
+
+SAMPLE = """
+<architecture name="tiny">
+  <module name="pe">
+    <input name="din"/>
+    <output name="dout"/>
+    <mux name="m" inputs="2"/>
+    <fu name="alu" ops="add sub mul" latency="0" ii="1"/>
+    <reg name="r"/>
+    <connect from="this.din" to="m.in0"/>
+    <connect from="m.out" to="alu.in0"/>
+    <connect from="this.din" to="alu.in1"/>
+    <connect from="alu.out" to="r.in"/>
+    <connect from="r.out" to="m.in1"/>
+    <connect from="r.out" to="this.dout"/>
+  </module>
+  <module name="top">
+    <inst name="a" module="pe"/>
+    <inst name="b" module="pe"/>
+    <fu name="gen" ops="load"/>
+    <connect from="gen.out" to="a.din"/>
+    <connect from="a.dout" to="b.din"/>
+  </module>
+  <top module="top"/>
+</architecture>
+"""
+
+
+class TestParse:
+    def test_parses_modules_and_top(self):
+        arch = parse_architecture(SAMPLE)
+        assert arch.name == "tiny"
+        assert set(arch.modules) == {"pe", "top"}
+        assert arch.top == "top"
+        pe = arch.modules["pe"]
+        alu = pe.element("alu")
+        assert isinstance(alu, FunctionalUnit)
+        assert alu.supports(OpCode.MUL)
+        assert isinstance(pe.element("m"), Multiplexer)
+
+    def test_instances_resolve(self):
+        arch = parse_architecture(SAMPLE)
+        top = arch.top_module
+        assert isinstance(top.element("a"), Module)
+        assert top.element("a").name == "pe"
+
+    def test_errors(self):
+        with pytest.raises(ADLError, match="expected <architecture>"):
+            parse_architecture("<arch/>")
+        with pytest.raises(ADLError, match="missing <top"):
+            parse_architecture('<architecture name="x"></architecture>')
+        with pytest.raises(ADLError, match="undefined module"):
+            parse_architecture(
+                '<architecture name="x"><top module="ghost"/></architecture>'
+            )
+        with pytest.raises(ADLError, match="XML syntax error"):
+            parse_architecture("<architecture name=")
+        with pytest.raises(ADLError, match="before its definition"):
+            parse_architecture(
+                '<architecture name="x"><module name="t">'
+                '<inst name="i" module="later"/></module>'
+                '<module name="later"/><top module="t"/></architecture>'
+            )
+        with pytest.raises(ADLError, match="missing required attribute"):
+            parse_architecture(
+                '<architecture name="x"><module name="t"><mux inputs="2"/>'
+                "</module><top module='t'/></architecture>"
+            )
+        with pytest.raises(ADLError, match="must be an integer"):
+            parse_architecture(
+                '<architecture name="x"><module name="t">'
+                '<mux name="m" inputs="two"/></module>'
+                "<top module='t'/></architecture>"
+            )
+
+    def test_duplicate_module_rejected(self):
+        text = (
+            '<architecture name="x"><module name="m"/><module name="m"/>'
+            '<top module="m"/></architecture>'
+        )
+        with pytest.raises(ADLError, match="duplicate module"):
+            parse_architecture(text)
+
+
+class TestRoundTrip:
+    def test_sample_round_trips(self):
+        arch = parse_architecture(SAMPLE)
+        again = parse_architecture(serialize_architecture(arch))
+        assert set(again.modules) == set(arch.modules)
+        pe_a, pe_b = arch.modules["pe"], again.modules["pe"]
+        assert pe_a.connections == pe_b.connections
+        assert set(pe_a.ports) == set(pe_b.ports)
+
+    def test_paper_architecture_round_trips(self):
+        top = paper_architecture("heterogeneous", "diagonal", rows=2, cols=3)
+        arch = Architecture.from_top(top)
+        text = serialize_architecture(arch)
+        again = parse_architecture(text)
+        assert set(again.modules) == set(arch.modules)
+        assert serialize_architecture(again) == text
+
+    def test_flattened_netlists_match_after_round_trip(self):
+        from repro.arch import flatten
+
+        top = paper_architecture("homogeneous", "orthogonal", rows=2, cols=2)
+        arch = Architecture.from_top(top)
+        again = parse_architecture(serialize_architecture(arch))
+        original = flatten(top)
+        reparsed = flatten(again.top_module)
+        assert set(original.primitives) == set(reparsed.primitives)
+        assert {n.driver for n in original.nets} == {n.driver for n in reparsed.nets}
+
+    def test_file_round_trip(self, tmp_path):
+        arch = parse_architecture(SAMPLE)
+        path = tmp_path / "arch.xml"
+        save(arch, str(path))
+        assert set(load(str(path)).modules) == {"pe", "top"}

@@ -1,0 +1,67 @@
+"""Tests for the architecture cost model."""
+
+import pytest
+
+from repro.arch import GridSpec, build_grid, flatten, paper_architecture
+from repro.arch.cost import estimate_cost, estimate_module_cost
+from repro.arch.grid import heterogeneous_ops
+
+
+def cost_of(fb_style: str, interconnect: str, contexts: int = 1):
+    top = paper_architecture(fb_style, interconnect, rows=4, cols=4)
+    return estimate_module_cost(top, contexts=contexts)
+
+
+class TestCostOrdering:
+    """The paper's qualitative cost claims must hold in the model."""
+
+    def test_heterogeneous_is_cheaper_than_homogeneous(self):
+        # "higher degrees of flexibility generally increases hardware
+        # costs" — 8 fewer multipliers must show up as area.
+        het = cost_of("heterogeneous", "orthogonal")
+        hom = cost_of("homogeneous", "orthogonal")
+        assert het.total_area < hom.total_area
+        assert het.compute_area < hom.compute_area
+
+    def test_diagonal_costs_more_routing_than_orthogonal(self):
+        orth = cost_of("homogeneous", "orthogonal")
+        diag = cost_of("homogeneous", "diagonal")
+        assert diag.routing_area > orth.routing_area
+
+    def test_second_context_costs_extra_storage(self):
+        one = cost_of("homogeneous", "orthogonal", contexts=1)
+        two = cost_of("homogeneous", "orthogonal", contexts=2)
+        assert two.storage_area > one.storage_area
+        assert two.compute_area == one.compute_area
+        assert two.total_area > one.total_area
+
+    def test_power_proxy_weights_routing(self):
+        report = cost_of("homogeneous", "diagonal")
+        assert report.power_proxy > report.total_area * 0.99
+
+
+class TestInventory:
+    def test_counts_match_structure(self):
+        top = build_grid(GridSpec(rows=2, cols=2), name="g")
+        report = estimate_cost(flatten(top))
+        # 4 ALUs + 8 pads + 2 memory ports.
+        assert report.num_fus == 14
+        # One register per functional block.
+        assert report.num_regs == 4
+        assert report.num_muxes > 0
+        assert report.num_net_sinks > 0
+
+    def test_bigger_grid_costs_more(self):
+        small = estimate_cost(flatten(build_grid(GridSpec(rows=2, cols=2), "a")))
+        large = estimate_cost(flatten(build_grid(GridSpec(rows=4, cols=4), "b")))
+        assert large.total_area > 2 * small.total_area
+
+    def test_heterogeneous_grid_counts_multipliers(self):
+        homo = build_grid(GridSpec(rows=2, cols=2), name="h")
+        hetero = build_grid(
+            GridSpec(rows=2, cols=2, ops_for=heterogeneous_ops), name="x"
+        )
+        assert (
+            estimate_cost(flatten(hetero)).compute_area
+            < estimate_cost(flatten(homo)).compute_area
+        )

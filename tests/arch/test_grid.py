@@ -1,0 +1,117 @@
+"""Tests for the parametric CGRA grid generator."""
+
+import pytest
+
+from repro.arch import ArchError, GridSpec, build_grid, flatten
+from repro.arch.grid import heterogeneous_ops, homogeneous_ops, io_adjacency
+from repro.dfg import OpCode
+
+
+class TestGridSpec:
+    def test_defaults(self):
+        spec = GridSpec()
+        assert spec.rows == spec.cols == 4
+        assert spec.interconnect == "orthogonal"
+
+    def test_validation(self):
+        with pytest.raises(ArchError):
+            GridSpec(rows=0)
+        with pytest.raises(ArchError, match="interconnect"):
+            GridSpec(interconnect="toroidal")
+        with pytest.raises(ArchError, match="io_span"):
+            GridSpec(io_span=-1)
+        with pytest.raises(ArchError, match="route_through"):
+            GridSpec(route_through="bogus")
+
+
+class TestOpsCallbacks:
+    def test_homogeneous_all_multiply(self):
+        assert all(
+            OpCode.MUL in homogeneous_ops(r, c) for r in range(4) for c in range(4)
+        )
+
+    def test_heterogeneous_checkerboard(self):
+        with_mul = sum(
+            1
+            for r in range(4)
+            for c in range(4)
+            if OpCode.MUL in heterogeneous_ops(r, c)
+        )
+        assert with_mul == 8  # "only half of the ALUs ... contain a multiplier"
+
+    def test_heterogeneous_pattern_alternates(self):
+        assert OpCode.MUL in heterogeneous_ops(0, 0)
+        assert OpCode.MUL not in heterogeneous_ops(0, 1)
+
+
+class TestIOAdjacency:
+    def test_pad_count_matches_perimeter(self):
+        spec = GridSpec(rows=4, cols=4)
+        assert len(io_adjacency(spec)) == 16  # 4 per side
+
+    def test_span_zero_is_one_to_one(self):
+        spec = GridSpec(io_span=0)
+        adjacency = io_adjacency(spec)
+        assert all(len(blocks) == 1 for blocks in adjacency.values())
+        assert adjacency["io_n_2"] == [(0, 2)]
+
+    def test_span_clips_at_edges(self):
+        spec = GridSpec(io_span=1)
+        adjacency = io_adjacency(spec)
+        assert adjacency["io_n_0"] == [(0, 0), (0, 1)]
+        assert adjacency["io_n_1"] == [(0, 0), (0, 1), (0, 2)]
+        assert adjacency["io_e_3"] == [(2, 3), (3, 3)]
+
+
+class TestBuildGrid:
+    @pytest.mark.parametrize("interconnect", ["orthogonal", "diagonal"])
+    def test_grid_validates_and_flattens(self, interconnect):
+        spec = GridSpec(rows=2, cols=3, interconnect=interconnect)
+        top = build_grid(spec)
+        assert top.validate() == []
+        net = flatten(top)
+        # 6 FBs, each with alu/reg/3 muxes (+ mux_r) etc.
+        assert "fb_0_0/alu" in net.primitives
+        assert "mem_1/port" in net.primitives
+
+    def test_io_pad_count(self):
+        top = build_grid(GridSpec(rows=2, cols=2))
+        pads = [name for name in top.elements if name.startswith("io_")]
+        assert len(pads) == 8  # 2 per side
+
+    def test_memory_port_per_row(self):
+        top = build_grid(GridSpec(rows=3, cols=2))
+        mems = [name for name in top.elements if name.startswith("mem_")]
+        assert mems == ["mem_0", "mem_1", "mem_2"]
+
+    def test_no_io_no_memory(self):
+        spec = GridSpec(rows=2, cols=2, with_io=False, with_memory=False)
+        top = build_grid(spec)
+        assert not any(n.startswith(("io_", "mem_")) for n in top.elements)
+        assert top.validate() == []
+        flatten(top)
+
+    def test_diagonal_has_wider_muxes_than_orthogonal(self):
+        # "the size of each functional block's input multiplexer was
+        # increased to accommodate the additional inputs"
+        orth = build_grid(GridSpec(rows=3, cols=3, interconnect="orthogonal"))
+        diag = build_grid(GridSpec(rows=3, cols=3, interconnect="diagonal"))
+
+        def center_mux_inputs(top):
+            fb = top.element("fb_1_1")
+            return fb.element("mux_a").num_inputs
+
+        assert center_mux_inputs(diag) > center_mux_inputs(orth)
+
+    def test_heterogeneous_grid_alu_capabilities(self):
+        spec = GridSpec(rows=2, cols=2, ops_for=heterogeneous_ops)
+        top = build_grid(spec)
+        alu00 = top.element("fb_0_0").element("alu")
+        alu01 = top.element("fb_0_1").element("alu")
+        assert alu00.supports(OpCode.MUL)
+        assert not alu01.supports(OpCode.MUL)
+
+    def test_1x1_grid_builds(self):
+        top = build_grid(GridSpec(rows=1, cols=1))
+        assert top.validate() == []
+        flatten(top)

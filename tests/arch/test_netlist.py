@@ -1,0 +1,108 @@
+"""Tests for hierarchy flattening."""
+
+import pytest
+
+from repro.arch import ArchError, Module, flatten
+from repro.dfg import OpCode
+
+
+def leaf_pe() -> Module:
+    pe = Module("pe")
+    pe.add_input("din")
+    pe.add_output("dout")
+    pe.add_fu("alu", [OpCode.NOT], latency=0)
+    pe.connect("this.din", "alu.in0")
+    pe.connect("alu.out", "this.dout")
+    return pe
+
+
+class TestFlatten:
+    def test_primitive_paths(self):
+        top = Module("top")
+        pe = leaf_pe()
+        top.add_instance("a", pe)
+        top.add_instance("b", pe)
+        top.connect("a.dout", "b.din")
+        net = flatten(top)
+        assert set(net.primitives) == {"a/alu", "b/alu"}
+
+    def test_through_hierarchy_connection(self):
+        # top.a.dout -> top.b.din resolves to a/alu.out -> b/alu.in0.
+        top = Module("top")
+        pe = leaf_pe()
+        top.add_instance("a", pe)
+        top.add_instance("b", pe)
+        top.connect("a.dout", "b.din")
+        net = flatten(top)
+        assert len(net.nets) == 1
+        assert net.nets[0].driver == ("a/alu", "out")
+        assert net.nets[0].sinks == (("b/alu", "in0"),)
+
+    def test_two_level_hierarchy(self):
+        pe = leaf_pe()
+        pair = Module("pair")
+        pair.add_input("x")
+        pair.add_output("y")
+        pair.add_instance("first", pe)
+        pair.add_instance("second", pe)
+        pair.connect("this.x", "first.din")
+        pair.connect("first.dout", "second.din")
+        pair.connect("second.dout", "this.y")
+        top = Module("top")
+        top.add_instance("p0", pair)
+        top.add_instance("p1", pair)
+        top.connect("p0.y", "p1.x")
+        net = flatten(top)
+        assert set(net.primitives) == {
+            "p0/first/alu", "p0/second/alu", "p1/first/alu", "p1/second/alu",
+        }
+        drivers = {n.driver: n.sinks for n in net.nets}
+        assert drivers[("p0/second/alu", "out")] == (("p1/first/alu", "in0"),)
+
+    def test_fanout_collected_into_one_net(self):
+        top = Module("top")
+        pe = leaf_pe()
+        top.add_instance("src", pe)
+        top.add_instance("d0", pe)
+        top.add_instance("d1", pe)
+        top.connect("src.dout", "d0.din")
+        top.connect("src.dout", "d1.din")
+        net = flatten(top)
+        assert len(net.nets) == 1
+        assert set(net.nets[0].sinks) == {("d0/alu", "in0"), ("d1/alu", "in0")}
+
+    def test_multiple_drivers_rejected(self):
+        top = Module("top")
+        pe = leaf_pe()
+        top.add_instance("a", pe)
+        top.add_instance("b", pe)
+        top.add_instance("c", pe)
+        top.connect("a.dout", "c.din")
+        top.connect("b.dout", "c.din")
+        with pytest.raises(ArchError, match="multiple drivers"):
+            flatten(top)
+
+    def test_undriven_sink_reported_not_fatal(self):
+        # An inner connection from an undriven composite input port: the
+        # primitive input floats, which is legal but diagnosable.
+        top = Module("top")
+        pe = leaf_pe()
+        top.add_instance("a", pe)  # a.din never driven
+        net = flatten(top)
+        assert ("a/alu", "in0") in net.undriven
+        assert net.driver_of(("a/alu", "in0")) is None
+
+    def test_unused_output_is_legal(self):
+        top = Module("top")
+        pe = leaf_pe()
+        src = Module("srcmod")
+        src.add_output("o")
+        src.add_fu("gen", [OpCode.LOAD])
+        src.connect("gen.out", "this.o")
+        top.add_instance("s", src)
+        top.add_instance("a", pe)
+        top.connect("s.o", "a.din")
+        # a.dout floats: allowed.
+        net = flatten(top)
+        assert net.driver_of(("a/alu", "in0")) == ("s/gen", "out")
+        assert net.fanin_count(("a/alu", "in0")) == 1

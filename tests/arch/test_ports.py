@@ -1,0 +1,35 @@
+"""Tests for ports and port references."""
+
+import pytest
+
+from repro.arch import ArchError, Direction, Port, PortRef
+
+
+class TestPort:
+    def test_valid_port(self):
+        port = Port("in0", Direction.IN)
+        assert port.name == "in0"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ArchError, match="invalid port name"):
+            Port("0bad", Direction.IN)
+        with pytest.raises(ArchError):
+            Port("has space", Direction.OUT)
+
+
+class TestPortRef:
+    def test_parse(self):
+        ref = PortRef.parse("alu.in0")
+        assert ref.element == "alu" and ref.port == "in0"
+
+    def test_parse_this(self):
+        ref = PortRef.parse("this.out")
+        assert ref.element == "this"
+
+    def test_str_round_trip(self):
+        assert str(PortRef.parse("a.b")) == "a.b"
+
+    @pytest.mark.parametrize("bad", ["noport", "a.b.c", ".x", "x.", "", "a b.c"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ArchError):
+            PortRef.parse(bad)

@@ -1,0 +1,65 @@
+"""Tests for the paper's 8-architecture test suite."""
+
+import pytest
+
+from repro.arch import PAPER_ARCHITECTURES, build_paper_arch, paper_architecture
+from repro.arch.primitives import FunctionalUnit
+from repro.dfg import OpCode
+
+
+def count_multiplier_alus(top) -> int:
+    count = 0
+    for name, element in top.elements.items():
+        if name.startswith("fb_"):
+            alu = element.element("alu")
+            assert isinstance(alu, FunctionalUnit)
+            if alu.supports(OpCode.MUL):
+                count += 1
+    return count
+
+
+class TestPaperArchitectures:
+    def test_eight_columns_in_table2_order(self):
+        assert len(PAPER_ARCHITECTURES) == 8
+        keys = [a.key for a in PAPER_ARCHITECTURES]
+        assert keys == [
+            "hetero_orth_ii1",
+            "hetero_diag_ii1",
+            "homoge_orth_ii1",
+            "homoge_diag_ii1",
+            "hetero_orth_ii2",
+            "hetero_diag_ii2",
+            "homoge_orth_ii2",
+            "homoge_diag_ii2",
+        ]
+
+    def test_labels(self):
+        assert PAPER_ARCHITECTURES[0].label == "Hetero. Orth. (II=1)"
+        assert PAPER_ARCHITECTURES[7].label == "Homo. Diag. (II=2)"
+
+    def test_homogeneous_has_16_multipliers(self):
+        top = paper_architecture("homogeneous", "orthogonal")
+        assert count_multiplier_alus(top) == 16
+
+    def test_heterogeneous_has_8_multipliers(self):
+        # "only half of the ALUs in the architecture contain a multiplier"
+        top = paper_architecture("heterogeneous", "orthogonal")
+        assert count_multiplier_alus(top) == 8
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError, match="fb_style"):
+            paper_architecture("exotic", "orthogonal")
+
+    @pytest.mark.parametrize("arch", PAPER_ARCHITECTURES[:4], ids=lambda a: a.key)
+    def test_all_spatial_architectures_validate(self, arch):
+        top = build_paper_arch(arch, rows=2, cols=2)
+        assert top.validate() == []
+
+    def test_4x4_has_16_io_pads_and_4_memory_ports(self):
+        top = paper_architecture("homogeneous", "orthogonal")
+        pads = [n for n in top.elements if n.startswith("io_")]
+        mems = [n for n in top.elements if n.startswith("mem_")]
+        fbs = [n for n in top.elements if n.startswith("fb_")]
+        assert len(pads) == 16
+        assert len(mems) == 4
+        assert len(fbs) == 16

@@ -1,0 +1,30 @@
+"""Tests for DOT export of DFGs."""
+
+from repro.dfg import DFGBuilder, to_dot
+
+
+def test_dot_contains_all_ops_and_edges(tiny_dfg):
+    dot = to_dot(tiny_dfg)
+    assert dot.startswith('digraph "tiny"')
+    for name in tiny_dfg.op_names:
+        assert f'"{name}"' in dot
+    assert '"x" -> "s" [label="0"]' in dot
+    assert '"y" -> "s" [label="1"]' in dot
+
+
+def test_back_edges_rendered_dashed():
+    b = DFGBuilder("acc")
+    x = b.input("x")
+    ph = b.defer()
+    acc = b.add(x, ph, name="acc")
+    b.bind_back(ph, acc)
+    b.output(acc, name="o")
+    dot = to_dot(b.build())
+    assert "style=dashed" in dot
+
+
+def test_io_shapes_differ(tiny_dfg):
+    dot = to_dot(tiny_dfg)
+    assert "invtriangle" in dot  # inputs
+    assert "shape=triangle" in dot  # output
+    assert "shape=box" in dot  # the add

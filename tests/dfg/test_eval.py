@@ -1,0 +1,83 @@
+"""Tests for the reference DFG interpreter."""
+
+import pytest
+
+from repro.dfg import MASK, DFGBuilder, Environment, OpCode, apply_op, evaluate
+from repro.kernels import accum, add_n, mac
+
+
+class TestApplyOp:
+    def test_wrapping_arithmetic(self):
+        assert apply_op(OpCode.ADD, [MASK, 1]) == 0
+        assert apply_op(OpCode.SUB, [0, 1]) == MASK
+        assert apply_op(OpCode.MUL, [1 << 31, 2]) == 0
+
+    def test_shift_semantics(self):
+        assert apply_op(OpCode.SHL, [1, 4]) == 16
+        assert apply_op(OpCode.SHR, [16, 4]) == 1
+        # Shift amount uses the low five bits.
+        assert apply_op(OpCode.SHL, [1, 33]) == 2
+
+    def test_division_by_zero_yields_zero(self):
+        assert apply_op(OpCode.DIV, [42, 0]) == 0
+        assert apply_op(OpCode.DIV, [42, 5]) == 8
+
+    def test_bitwise(self):
+        assert apply_op(OpCode.AND, [0b1100, 0b1010]) == 0b1000
+        assert apply_op(OpCode.OR, [0b1100, 0b1010]) == 0b1110
+        assert apply_op(OpCode.XOR, [0b1100, 0b1010]) == 0b0110
+        assert apply_op(OpCode.NOT, [0]) == MASK
+
+
+class TestEvaluate:
+    def test_simple_dag(self, tiny_dfg):
+        trace = evaluate(tiny_dfg, Environment(inputs={"x": 2, "y": 3}))
+        assert trace.outputs["o"] == [5]
+
+    def test_adder_tree_with_store(self):
+        env = Environment(inputs={f"x{i}": i + 1 for i in range(8)})
+        trace = evaluate(add_n(8), env)
+        assert trace.stores["st"] == [36]
+
+    def test_default_input_is_zero(self, tiny_dfg):
+        assert evaluate(tiny_dfg).outputs["o"] == [0]
+
+    def test_constants_default_to_one(self):
+        b = DFGBuilder("c")
+        k = b.const("k")
+        x = b.input("x")
+        b.output(b.mul(k, x, name="m"), name="o")
+        trace = evaluate(b.build(), Environment(inputs={"x": 7}))
+        assert trace.outputs["o"] == [7]
+
+    def test_load_streams(self):
+        env = Environment(load_streams={"l0": [5, 6], "l1": [10], "l2": [1],
+                                        "l3": [1]})
+        trace = evaluate(mac(), env, iterations=3)
+        # Streams repeat their last element.
+        assert len(trace.outputs["o"]) == 3
+
+    def test_accumulator_recurrence(self):
+        env = Environment(inputs={f"x{i}": 1 for i in range(8)})
+        trace = evaluate(accum(), env, iterations=4)
+        # products = 1 each, tree = 4; acc_i = 4 * (i + 1).
+        assert trace.outputs["o0"] == [4, 8, 12, 16]
+        assert trace.outputs["o1"] == [4, 4, 4, 4]
+
+    def test_back_edge_reads_previous_iteration(self):
+        b = DFGBuilder("rec")
+        x = b.input("x")
+        ph = b.defer()
+        acc = b.add(x, ph, name="acc")
+        b.bind_back(ph, acc)
+        b.output(acc, name="o")
+        trace = evaluate(b.build(), Environment(inputs={"x": 3}), iterations=3)
+        assert trace.outputs["o"] == [3, 6, 9]
+
+    def test_iterations_validation(self, tiny_dfg):
+        with pytest.raises(ValueError):
+            evaluate(tiny_dfg, iterations=0)
+
+    def test_values_snapshot(self, tiny_dfg):
+        trace = evaluate(tiny_dfg, Environment(inputs={"x": 2, "y": 3}))
+        assert trace.values["s"] == 5

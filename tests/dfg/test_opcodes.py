@@ -1,0 +1,87 @@
+"""Tests for the opcode taxonomy."""
+
+import pytest
+
+from repro.dfg import ALU_OPS, ALU_OPS_NO_MUL, IO_OPS, MEMORY_OPS, OpCode
+
+
+class TestArity:
+    def test_sources_have_no_operands(self):
+        for op in (OpCode.INPUT, OpCode.CONST, OpCode.LOAD):
+            assert op.arity == 0
+
+    def test_sinks_take_one_operand(self):
+        assert OpCode.OUTPUT.arity == 1
+        assert OpCode.STORE.arity == 1
+
+    def test_binary_alu_ops(self):
+        for op in (OpCode.ADD, OpCode.SUB, OpCode.MUL, OpCode.DIV,
+                   OpCode.SHL, OpCode.SHR, OpCode.AND, OpCode.OR, OpCode.XOR):
+            assert op.arity == 2
+
+    def test_not_is_unary(self):
+        assert OpCode.NOT.arity == 1
+
+
+class TestValueProduction:
+    def test_sink_ops_produce_nothing(self):
+        assert not OpCode.OUTPUT.produces_value
+        assert not OpCode.STORE.produces_value
+
+    def test_all_other_ops_produce(self):
+        for op in OpCode:
+            if op not in (OpCode.OUTPUT, OpCode.STORE):
+                assert op.produces_value, op
+
+
+class TestCommutativity:
+    @pytest.mark.parametrize(
+        "op", [OpCode.ADD, OpCode.MUL, OpCode.AND, OpCode.OR, OpCode.XOR]
+    )
+    def test_commutative(self, op):
+        assert op.is_commutative
+
+    @pytest.mark.parametrize("op", [OpCode.SUB, OpCode.DIV, OpCode.SHL, OpCode.SHR])
+    def test_non_commutative(self, op):
+        assert not op.is_commutative
+
+
+class TestClassification:
+    def test_io_classification_matches_table1(self):
+        assert OpCode.INPUT.is_io and OpCode.OUTPUT.is_io
+        assert not OpCode.LOAD.is_io and not OpCode.STORE.is_io
+
+    def test_memory_ops_are_internal(self):
+        # Table 1: "Load/Stores are considered to be internal operations".
+        assert OpCode.LOAD.is_internal
+        assert OpCode.STORE.is_internal
+
+    def test_io_ops_are_not_internal(self):
+        assert not OpCode.INPUT.is_internal
+        assert not OpCode.OUTPUT.is_internal
+
+
+class TestOpSets:
+    def test_alu_sets_nested(self):
+        assert ALU_OPS_NO_MUL < ALU_OPS
+
+    def test_no_mul_set_lacks_multiplier(self):
+        assert OpCode.MUL not in ALU_OPS_NO_MUL
+        assert OpCode.MUL in ALU_OPS
+
+    def test_memory_and_io_sets_disjoint_from_alu(self):
+        assert not (MEMORY_OPS & ALU_OPS)
+        assert not (IO_OPS & ALU_OPS)
+
+
+class TestParsing:
+    def test_from_name_roundtrip(self):
+        for op in OpCode:
+            assert OpCode.from_name(op.value) is op
+
+    def test_from_name_is_case_insensitive(self):
+        assert OpCode.from_name("ADD") is OpCode.ADD
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown opcode"):
+            OpCode.from_name("fma")

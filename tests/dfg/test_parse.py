@@ -1,0 +1,93 @@
+"""Tests for the DFG text format."""
+
+import pytest
+
+from repro.dfg import DFGParseError, parse, serialize
+from repro.kernels import all_kernels
+
+GOOD = '''
+# a comment
+dfg "demo"
+x = input
+y = input          # trailing comment
+s = add x y
+o = output s
+'''
+
+
+class TestParse:
+    def test_basic(self):
+        dfg = parse(GOOD)
+        assert dfg.name == "demo"
+        assert len(dfg) == 4
+        assert dfg.producers("s") == ("x", "y")
+
+    def test_back_edge_marker(self):
+        dfg = parse('dfg "l"\nx = input\nacc = add x ^acc\no = output acc\n')
+        assert dfg.op("acc").operand_is_back_edge(1)
+
+    def test_forward_reference_allowed(self):
+        text = 'dfg "f"\no = output s\ns = add x y\nx = input\ny = input\n'
+        dfg = parse(text)
+        assert dfg.consumers("s") == ("o",)
+
+    def test_missing_header(self):
+        with pytest.raises(DFGParseError, match="must start with"):
+            parse("x = input\n")
+
+    def test_duplicate_header(self):
+        with pytest.raises(DFGParseError, match="duplicate 'dfg'"):
+            parse('dfg "a"\ndfg "b"\n')
+
+    def test_empty_input(self):
+        with pytest.raises(DFGParseError, match="empty input"):
+            parse("\n  \n# only comments\n")
+
+    def test_unknown_opcode_line_number(self):
+        with pytest.raises(DFGParseError, match="line 3"):
+            parse('dfg "a"\nx = input\ny = frobnicate\n')
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(DFGParseError, match="expects 2 operand"):
+            parse('dfg "a"\nx = input\ns = add x\n')
+
+    def test_unknown_operand_reference(self):
+        with pytest.raises(DFGParseError):
+            parse('dfg "a"\ns = output ghost\n')
+
+    def test_bad_op_name(self):
+        with pytest.raises(DFGParseError, match="invalid op name"):
+            parse('dfg "a"\n1bad = input\n')
+
+    def test_missing_equals(self):
+        with pytest.raises(DFGParseError, match="expected"):
+            parse('dfg "a"\nx input\n')
+
+
+class TestSerialize:
+    def test_round_trip_small(self):
+        dfg = parse(GOOD)
+        again = parse(serialize(dfg))
+        assert again.structurally_equal(dfg)
+        assert again.name == dfg.name
+
+    @pytest.mark.parametrize("name", sorted(all_kernels()))
+    def test_round_trip_all_benchmarks(self, name):
+        dfg = all_kernels()[name]
+        again = parse(serialize(dfg))
+        assert again.structurally_equal(dfg)
+
+    def test_back_edges_survive_round_trip(self):
+        text = 'dfg "l"\nx = input\nacc = add x ^acc\no = output acc\n'
+        again = parse(serialize(parse(text)))
+        assert again.op("acc").operand_is_back_edge(1)
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        from repro.dfg import load, save
+
+        dfg = parse(GOOD)
+        path = tmp_path / "demo.dfg"
+        save(dfg, str(path))
+        assert load(str(path)).structurally_equal(dfg)

@@ -1,0 +1,72 @@
+"""Property-based tests for the DFG layer (hypothesis)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dfg import DFG, DFGBuilder, OpCode, check, compute, parse, serialize
+
+_BINARY = [OpCode.ADD, OpCode.SUB, OpCode.MUL, OpCode.SHL, OpCode.XOR]
+
+
+@st.composite
+def random_dags(draw) -> DFG:
+    """Random well-formed DFGs: inputs, binary internal layer(s), outputs."""
+    num_inputs = draw(st.integers(min_value=1, max_value=6))
+    num_internal = draw(st.integers(min_value=0, max_value=12))
+    b = DFGBuilder("rand")
+    refs = [b.input(f"x{i}") for i in range(num_inputs)]
+    for i in range(num_internal):
+        opcode = draw(st.sampled_from(_BINARY))
+        a = refs[draw(st.integers(0, len(refs) - 1))]
+        c = refs[draw(st.integers(0, len(refs) - 1))]
+        refs.append(b.op(opcode, a, c, name=f"n{i}"))
+    dfg = b._dfg
+    # Terminate every dangling value with an output.
+    consumed = {e.src for e in dfg.edges()}
+    for ref in refs:
+        if ref.name not in consumed:
+            b.output(ref, name=f"o_{ref.name}")
+    return b.build()
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_random_dags_are_valid(dfg):
+    assert check(dfg) == []
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_serialize_parse_round_trip(dfg):
+    again = parse(serialize(dfg))
+    assert again.structurally_equal(dfg)
+    assert again.name == dfg.name
+
+
+@given(random_dags())
+@settings(max_examples=60, deadline=None)
+def test_stats_invariants(dfg):
+    stats = compute(dfg)
+    assert stats.total_ops == len(dfg)
+    assert 0 <= stats.multiplies <= stats.internal_ops
+    assert stats.values <= stats.total_ops
+    assert stats.edges >= stats.values  # every value has >= 1 sink
+    assert stats.depth >= 1
+    if stats.max_fanout:
+        assert stats.max_fanout <= stats.edges
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_copy_preserves_structure(dfg):
+    assert dfg.copy().structurally_equal(dfg)
+
+
+@given(random_dags())
+@settings(max_examples=40, deadline=None)
+def test_networkx_export_consistent(dfg):
+    graph = dfg.to_networkx()
+    assert graph.number_of_nodes() == len(dfg)
+    assert graph.number_of_edges() == sum(1 for _ in dfg.edges())

@@ -1,0 +1,178 @@
+"""Tests for DFG optimization passes."""
+
+import pytest
+
+from repro.dfg import DFGBuilder, Environment, OpCode, check, compute, evaluate
+from repro.dfg.transforms import (
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    optimize,
+    rebalance_reductions,
+    simplify_algebraic,
+)
+from repro.kernels import cos_4, exp_5
+
+
+def outputs_of(dfg, env, iterations=1):
+    trace = evaluate(dfg, env, iterations=iterations)
+    return trace.outputs, trace.stores
+
+
+class TestCSE:
+    def test_merges_duplicate_power_chains(self):
+        # cos_4 recomputes x*x in three separate chains.
+        original = cos_4()
+        optimized = eliminate_common_subexpressions(original)
+        assert len(optimized) < len(original)
+        assert check(optimized) == []
+
+    def test_commutative_operand_order_ignored(self):
+        b = DFGBuilder("c")
+        x, y = b.input("x"), b.input("y")
+        a = b.add(x, y, name="a")
+        c = b.add(y, x, name="c")  # same value, swapped operands
+        b.output(b.mul(a, c, name="m"), name="o")
+        optimized = eliminate_common_subexpressions(b.build())
+        adds = optimized.ops_by_opcode(OpCode.ADD)
+        assert len(adds) == 1
+
+    def test_non_commutative_order_respected(self):
+        b = DFGBuilder("c")
+        x, y = b.input("x"), b.input("y")
+        a = b.sub(x, y, name="a")
+        c = b.sub(y, x, name="c")
+        b.output(b.mul(a, c, name="m"), name="o")
+        optimized = eliminate_common_subexpressions(b.build())
+        assert len(optimized.ops_by_opcode(OpCode.SUB)) == 2
+
+    def test_sources_never_merged(self):
+        b = DFGBuilder("c")
+        l0, l1 = b.load("l0"), b.load("l1")
+        b.store(b.add(l0, l1, name="a"), name="st")
+        optimized = eliminate_common_subexpressions(b.build())
+        assert len(optimized.ops_by_opcode(OpCode.LOAD)) == 2
+
+    def test_back_edge_ops_not_merged(self):
+        b = DFGBuilder("c")
+        x = b.input("x")
+        ph = b.defer()
+        acc = b.add(x, ph, name="acc")
+        b.bind_back(ph, acc)
+        other = b.add(x, acc, name="other")
+        b.output(other, name="o")
+        optimized = eliminate_common_subexpressions(b.build())
+        assert "acc" in optimized and "other" in optimized
+
+    def test_semantics_preserved(self):
+        env = Environment(
+            inputs={"x": 3, "c0": 2, "c1": 5, "c2": 7}, constants={}
+        )
+        original = cos_4()
+        optimized = eliminate_common_subexpressions(original)
+        assert outputs_of(original, env) == outputs_of(optimized, env)
+
+
+class TestDCE:
+    def test_removes_unreachable_ops(self):
+        b = DFGBuilder("d")
+        x = b.input("x")
+        y = b.input("y")
+        live = b.add(x, y, name="live")
+        b.add(live, x, name="dead_sum")  # never consumed by a sink
+        b.output(live, name="o")
+        pruned = eliminate_dead_code(b.build())
+        assert "dead_sum" not in pruned
+        assert "live" in pruned
+        assert check(pruned) == []
+
+    def test_keeps_everything_in_clean_graph(self):
+        dfg = exp_5()
+        assert len(eliminate_dead_code(dfg)) == len(dfg)
+
+    def test_removes_transitively_dead_inputs(self):
+        b = DFGBuilder("d")
+        x = b.input("x")
+        y = b.input("y")  # feeds only dead code
+        b.add(x, y, name="dead")
+        b.output(x, name="o")
+        pruned = eliminate_dead_code(b.build())
+        assert "y" not in pruned
+
+
+class TestSimplify:
+    def test_double_not_removed(self):
+        b = DFGBuilder("s")
+        x = b.input("x")
+        n1 = b.op(OpCode.NOT, x, name="n1")
+        n2 = b.op(OpCode.NOT, n1, name="n2")
+        b.output(n2, name="o")
+        simplified = simplify_algebraic(b.build())
+        assert "n2" not in simplified
+        assert simplified.producers("o") == ("x",)
+
+    def test_semantics_preserved(self):
+        b = DFGBuilder("s")
+        x = b.input("x")
+        n1 = b.op(OpCode.NOT, x, name="n1")
+        n2 = b.op(OpCode.NOT, n1, name="n2")
+        b.output(n2, name="o")
+        dfg = b.build()
+        env = Environment(inputs={"x": 1234})
+        assert outputs_of(dfg, env) == outputs_of(simplify_algebraic(dfg), env)
+
+
+class TestRebalance:
+    def chain(self, n):
+        b = DFGBuilder("chain")
+        xs = [b.input(f"x{i}") for i in range(n + 1)]
+        acc = xs[0]
+        for i in range(n):
+            acc = b.add(acc, xs[i + 1], name=f"a{i}")
+        b.output(acc, name="o")
+        return b.build()
+
+    def test_depth_reduced(self):
+        original = self.chain(7)
+        balanced = rebalance_reductions(original)
+        assert check(balanced) == []
+        assert compute(balanced).depth < compute(original).depth
+        assert compute(balanced).internal_ops == compute(original).internal_ops
+
+    def test_semantics_preserved(self):
+        env = Environment(inputs={f"x{i}": i * 3 + 1 for i in range(8)})
+        original = self.chain(7)
+        balanced = rebalance_reductions(original)
+        assert outputs_of(original, env) == outputs_of(balanced, env)
+
+    def test_multi_use_intermediates_untouched(self):
+        b = DFGBuilder("m")
+        xs = [b.input(f"x{i}") for i in range(4)]
+        a0 = b.add(xs[0], xs[1], name="a0")
+        a1 = b.add(a0, xs[2], name="a1")
+        a2 = b.add(a1, xs[3], name="a2")
+        b.output(a2, name="o")
+        b.output(a1, name="o2")  # a1 observable: chain must not collapse it
+        balanced = rebalance_reductions(b.build())
+        assert "a1" in balanced
+        env = Environment(inputs={f"x{i}": i + 1 for i in range(4)})
+        assert outputs_of(b.build(), env) == outputs_of(balanced, env)
+
+    def test_short_chains_left_alone(self):
+        original = self.chain(2)
+        assert rebalance_reductions(original).structurally_equal(original)
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("name_fn", [cos_4, exp_5])
+    def test_optimize_preserves_semantics(self, name_fn):
+        dfg = name_fn()
+        env = Environment(
+            inputs={op.name: 3 for op in dfg.ops_by_opcode(OpCode.INPUT)}
+        )
+        assert outputs_of(dfg, env) == outputs_of(optimize(dfg), env)
+
+    def test_optimize_shrinks_taylor_kernels(self):
+        original = cos_4()
+        optimized = optimize(original)
+        assert compute(optimized).internal_ops < compute(original).internal_ops
+        assert check(optimized) == []

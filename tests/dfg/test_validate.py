@@ -1,0 +1,82 @@
+"""Tests for DFG validation."""
+
+import pytest
+
+from repro.dfg import (
+    DFG,
+    DFGBuilder,
+    DFGValidationError,
+    OpCode,
+    assert_valid,
+    check,
+)
+
+
+def test_valid_graph_has_no_issues(tiny_dfg):
+    assert check(tiny_dfg) == []
+    assert_valid(tiny_dfg)
+
+
+def test_empty_graph_flagged():
+    assert check(DFG("empty")) == ["DFG has no operations"]
+
+
+def test_unconnected_operand_flagged():
+    dfg = DFG("d")
+    dfg.add_op("x", OpCode.INPUT)
+    dfg.add_op("s", OpCode.ADD)
+    dfg.connect("x", "s", 0)
+    issues = check(dfg)
+    assert any("operand 1 of 's'" in issue for issue in issues)
+
+
+def test_dangling_value_flagged_and_suppressed():
+    dfg = DFG("d")
+    dfg.add_op("x", OpCode.INPUT)
+    dfg.add_op("y", OpCode.INPUT)
+    dfg.add_op("o", OpCode.OUTPUT)
+    dfg.connect("x", "o", 0)
+    issues = check(dfg)
+    assert any("never consumed" in issue for issue in issues)
+    assert check(dfg, allow_dangling=True) == []
+
+
+def test_forward_cycle_flagged():
+    dfg = DFG("cyc")
+    dfg.add_op("a", OpCode.NOT)
+    dfg.add_op("b", OpCode.NOT)
+    dfg.add_op("o", OpCode.OUTPUT)
+    dfg.connect("a", "b", 0)
+    dfg.connect("b", "a", 0)  # not flagged as back-edge: illegal
+    dfg.connect("b", "o", 0)
+    issues = check(dfg)
+    assert any("cycle" in issue for issue in issues)
+
+
+def test_cycle_with_back_edge_flag_is_legal():
+    b = DFGBuilder("acc")
+    x = b.input("x")
+    ph = b.defer()
+    acc = b.add(x, ph, name="acc")
+    b.bind_back(ph, acc)
+    b.output(acc)
+    assert check(b.build()) == []
+
+
+def test_back_edge_not_closing_cycle_flagged():
+    dfg = DFG("weird")
+    dfg.add_op("x", OpCode.INPUT)
+    dfg.add_op("y", OpCode.NOT)
+    dfg.add_op("o", OpCode.OUTPUT)
+    dfg.connect("x", "y", 0, back=True)  # no forward path y -> x
+    dfg.connect("y", "o", 0)
+    issues = check(dfg)
+    assert any("does not close" in issue for issue in issues)
+
+
+def test_assert_valid_raises_with_issue_list():
+    dfg = DFG("d")
+    dfg.add_op("s", OpCode.ADD)
+    with pytest.raises(DFGValidationError) as err:
+        assert_valid(dfg)
+    assert len(err.value.issues) >= 2  # two unconnected operands

@@ -1,0 +1,65 @@
+"""Tests for sweep run records."""
+
+import pytest
+
+from repro.explore import (
+    RunRecord,
+    fraction_within,
+    load_records,
+    save_records,
+)
+from repro.mapper import MapResult, MapStatus
+
+
+def record(benchmark="accum", arch="homoge_orth_ii1", status=MapStatus.MAPPED,
+           solve_time=1.0):
+    return RunRecord(
+        benchmark=benchmark,
+        arch_key=arch,
+        mapper="ilp",
+        status=status,
+        objective=42.0 if status is MapStatus.MAPPED else None,
+        proven_optimal=status is not MapStatus.TIMEOUT,
+        formulation_time=0.5,
+        solve_time=solve_time,
+    )
+
+
+def test_from_result():
+    result = MapResult(
+        status=MapStatus.MAPPED,
+        objective=10.0,
+        proven_optimal=True,
+        formulation_time=0.1,
+        solve_time=0.9,
+    )
+    rec = RunRecord.from_result("mac", "homoge_diag_ii2", "ilp", result)
+    assert rec.feasible
+    assert rec.total_time == pytest.approx(1.0)
+
+
+def test_json_round_trip(tmp_path):
+    records = [
+        record(),
+        record(benchmark="cos_4", status=MapStatus.INFEASIBLE),
+        record(benchmark="exp_6", status=MapStatus.TIMEOUT),
+    ]
+    path = tmp_path / "records.jsonl"
+    save_records(records, str(path))
+    loaded = load_records(str(path))
+    assert loaded == records
+    assert loaded[1].status is MapStatus.INFEASIBLE
+
+
+def test_fraction_within():
+    records = [record(solve_time=t) for t in (1.0, 2.0, 10.0, 100.0)]
+    # total_time adds the 0.5s formulation time.
+    assert fraction_within(records, 11.0) == pytest.approx(0.75)
+    assert fraction_within(records, 0.1) == 0.0
+    assert fraction_within([], 10.0) == 0.0
+
+
+def test_feasible_property():
+    assert record().feasible
+    assert not record(status=MapStatus.TIMEOUT).feasible
+    assert not record(status=MapStatus.GAVE_UP).feasible

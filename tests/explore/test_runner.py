@@ -1,0 +1,102 @@
+"""Tests for the sweep runner (on tiny grids for speed)."""
+
+import pytest
+
+from repro.arch.testsuite import PaperArch
+from repro.explore import (
+    SweepConfig,
+    build_arch_mrrg,
+    compare_mappers,
+    feasible_counts,
+    run_sweep,
+)
+from repro.mapper import MapStatus
+
+TINY_ARCHS = (
+    PaperArch("homoge_orth_ii1", "homogeneous", "orthogonal", 1),
+    PaperArch("homoge_orth_ii2", "homogeneous", "orthogonal", 2),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return SweepConfig(
+        benchmarks=("2x2-f", "accum"),
+        architectures=TINY_ARCHS,
+        time_limit=120,
+        rows=3,
+        cols=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_mrrgs():
+    return {a.key: build_arch_mrrg(a, 3, 3) for a in TINY_ARCHS}
+
+
+def test_build_arch_mrrg_contexts():
+    one = build_arch_mrrg(TINY_ARCHS[0], 2, 2)
+    two = build_arch_mrrg(TINY_ARCHS[1], 2, 2)
+    assert two.ii == 2
+    assert len(two) == 2 * len(one)
+
+
+def test_run_sweep_produces_full_grid(tiny_config, tiny_mrrgs):
+    records = run_sweep(tiny_config, mrrgs=tiny_mrrgs)
+    assert len(records) == 4  # 2 benchmarks x 2 architectures
+    assert {r.benchmark for r in records} == {"2x2-f", "accum"}
+    assert all(r.mapper == "ilp" for r in records)
+    assert all(
+        r.status in (MapStatus.MAPPED, MapStatus.INFEASIBLE, MapStatus.TIMEOUT)
+        for r in records
+    )
+
+
+def test_progress_callback_fires(tiny_config, tiny_mrrgs):
+    seen = []
+    config = SweepConfig(
+        benchmarks=("2x2-f",),
+        architectures=TINY_ARCHS[:1],
+        time_limit=120,
+        rows=3,
+        cols=3,
+        progress=seen.append,
+    )
+    run_sweep(config, mrrgs=tiny_mrrgs)
+    assert len(seen) == 1
+    assert seen[0].benchmark == "2x2-f"
+
+
+def test_feasible_counts(tiny_config, tiny_mrrgs):
+    records = run_sweep(tiny_config, mrrgs=tiny_mrrgs)
+    counts = feasible_counts(records)
+    assert set(counts) == {a.key for a in TINY_ARCHS}
+    # Dual context can never map fewer benchmarks than single context.
+    assert counts["homoge_orth_ii2"] >= counts["homoge_orth_ii1"]
+
+
+def test_greedy_sweep(tiny_mrrgs):
+    config = SweepConfig(
+        benchmarks=("2x2-f",),
+        architectures=TINY_ARCHS[:1],
+        time_limit=60,
+        rows=3,
+        cols=3,
+    )
+    records = run_sweep(config, mapper_name="greedy", mrrgs=tiny_mrrgs)
+    assert records[0].mapper == "greedy"
+    assert records[0].status in (MapStatus.MAPPED, MapStatus.GAVE_UP)
+
+
+def test_compare_mappers_runs_both(tiny_mrrgs):
+    config = SweepConfig(
+        benchmarks=("2x2-f",),
+        architectures=TINY_ARCHS[:1],
+        time_limit=60,
+        rows=3,
+        cols=3,
+    )
+    ilp, sa = compare_mappers(config)
+    assert ilp[0].mapper == "ilp"
+    assert sa[0].mapper == "sa"
+    assert len(ilp) == len(sa) == 1

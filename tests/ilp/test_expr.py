@@ -1,0 +1,101 @@
+"""Tests for linear expressions and constraint building."""
+
+import pytest
+
+from repro.ilp import LinExpr, Model, Sense, lin_sum
+
+
+@pytest.fixture
+def model():
+    return Model("m")
+
+
+class TestArithmetic:
+    def test_var_addition(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        expr = x + y
+        assert expr.coefficient(x) == 1.0
+        assert expr.coefficient(y) == 1.0
+
+    def test_scalar_multiplication(self, model):
+        x = model.add_binary("x")
+        expr = 3 * x
+        assert expr.coefficient(x) == 3.0
+        assert (expr * 2).coefficient(x) == 6.0
+
+    def test_subtraction_and_negation(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        expr = x - 2 * y
+        assert expr.coefficient(y) == -2.0
+        assert (-expr).coefficient(x) == -1.0
+
+    def test_constants_fold(self, model):
+        x = model.add_binary("x")
+        expr = x + 5 - 2
+        assert expr.constant == 3.0
+
+    def test_rsub(self, model):
+        x = model.add_binary("x")
+        expr = 10 - x
+        assert expr.constant == 10.0
+        assert expr.coefficient(x) == -1.0
+
+    def test_like_terms_combine(self, model):
+        x = model.add_binary("x")
+        expr = x + x + x
+        assert expr.coefficient(x) == 3.0
+
+    def test_lin_sum_matches_operator_sum(self, model):
+        xs = [model.add_binary(f"x{i}") for i in range(10)]
+        a = lin_sum(xs)
+        b = sum(xs, LinExpr())
+        assert a.terms == b.terms
+
+    def test_non_scalar_multiplication_rejected(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        with pytest.raises(TypeError):
+            (x + y) * (x + y)
+
+    def test_from_terms_merges_duplicates(self, model):
+        x = model.add_binary("x")
+        expr = LinExpr.from_terms([(x, 1.0), (x, 2.5)])
+        assert expr.coefficient(x) == 3.5
+
+
+class TestConstraints:
+    def test_le_constraint_normalizes_constant(self, model):
+        x = model.add_binary("x")
+        constraint = (x + 3) <= 5
+        assert constraint.sense is Sense.LE
+        assert constraint.rhs == 2.0
+        assert constraint.expr.constant == 0.0
+
+    def test_ge_and_eq(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        assert ((x + y) >= 1).sense is Sense.GE
+        assert ((x + y) == 1).sense is Sense.EQ
+
+    def test_var_to_var_comparison(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        constraint = x <= y
+        assert constraint.rhs == 0.0
+        assert constraint.expr.coefficient(x) == 1.0
+        assert constraint.expr.coefficient(y) == -1.0
+
+    def test_expr_on_both_sides(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        constraint = (2 * x + 1) == (y - 1)
+        assert constraint.rhs == -2.0
+        assert constraint.expr.coefficient(y) == -1.0
+
+    def test_is_satisfied(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        constraint = (x + y) <= 1
+        assert constraint.is_satisfied({x.index: 1.0, y.index: 0.0})
+        assert not constraint.is_satisfied({x.index: 1.0, y.index: 1.0})
+
+    def test_is_satisfied_eq_tolerance(self, model):
+        x = model.add_binary("x")
+        constraint = (x * 1.0) == 1
+        assert constraint.is_satisfied({x.index: 1.0 + 1e-9})
+        assert not constraint.is_satisfied({x.index: 0.9})

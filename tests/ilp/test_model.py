@@ -1,0 +1,123 @@
+"""Tests for the MILP model container."""
+
+import math
+
+import pytest
+
+from repro.ilp import Model, ModelError, Sense, VarType
+
+
+class TestVariables:
+    def test_var_kinds(self):
+        m = Model("m")
+        b = m.add_binary("b")
+        i = m.add_integer("i", 0, 10)
+        c = m.add_continuous("c", -1.0, 1.0)
+        assert b.vtype is VarType.BINARY and (b.lb, b.ub) == (0.0, 1.0)
+        assert i.vtype is VarType.INTEGER and i.ub == 10
+        assert c.vtype is VarType.CONTINUOUS and c.lb == -1.0
+
+    def test_duplicate_names_rejected(self):
+        m = Model("m")
+        m.add_binary("x")
+        with pytest.raises(ModelError, match="duplicate"):
+            m.add_binary("x")
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ModelError, match="lb"):
+            Model("m").add_continuous("x", 2.0, 1.0)
+
+    def test_lookup_by_name(self):
+        m = Model("m")
+        x = m.add_binary("x")
+        assert m.var("x") is x
+        assert m.has_var("x") and not m.has_var("y")
+        with pytest.raises(ModelError):
+            m.var("nope")
+
+    def test_indices_are_dense(self):
+        m = Model("m")
+        vars_ = [m.add_binary(f"x{i}") for i in range(5)]
+        assert [v.index for v in vars_] == list(range(5))
+
+
+class TestConstraintsAndObjective:
+    def test_add_with_name(self):
+        m = Model("m")
+        x = m.add_binary("x")
+        constraint = m.add(x <= 1, name="cap")
+        assert constraint.name == "cap"
+        assert m.constraints == (constraint,)
+
+    def test_add_rejects_bool(self):
+        m = Model("m")
+        m.add_binary("x")
+        with pytest.raises(ModelError, match="Constraint"):
+            m.add(True)  # e.g. accidental `x.index <= 1`
+
+    def test_add_terms_fast_path(self):
+        m = Model("m")
+        x, y = m.add_binary("x"), m.add_binary("y")
+        c = m.add_terms([(x, 1.0), (y, 2.0)], Sense.LE, 3.0, name="t")
+        assert c.expr.coefficient(y) == 2.0
+
+    def test_foreign_variable_rejected(self):
+        m1, m2 = Model("a"), Model("b")
+        x = m1.add_binary("x")
+        m2.add_binary("y")
+        with pytest.raises(ModelError, match="does not belong"):
+            m2.add(x <= 1)
+
+    def test_objective_sense(self):
+        m = Model("m")
+        x = m.add_binary("x")
+        m.maximize(x)
+        assert m.objective_sense == "max"
+        m.minimize(2 * x + 1)
+        assert m.objective_sense == "min"
+        assert m.objective.constant == 1.0
+
+    def test_constant_objective(self):
+        m = Model("m")
+        m.minimize(0.0)
+        assert m.objective.terms == {}
+
+    def test_objective_value_evaluation(self):
+        m = Model("m")
+        x, y = m.add_binary("x"), m.add_binary("y")
+        m.minimize(2 * x + 3 * y + 1)
+        assert m.objective_value({x.index: 1.0, y.index: 1.0}) == 6.0
+
+
+class TestIntrospection:
+    def test_stats(self):
+        m = Model("m")
+        x = m.add_binary("x")
+        y = m.add_integer("y", 0, 5)
+        z = m.add_continuous("z")
+        m.add(x + y <= 3)
+        m.add(y + z >= 1)
+        stats = m.stats()
+        assert stats.num_vars == 3
+        assert stats.num_binary == 1
+        assert stats.num_integer == 1
+        assert stats.num_continuous == 1
+        assert stats.num_constraints == 2
+        assert stats.num_nonzeros == 4
+
+    def test_check_assignment_reports_violations(self):
+        m = Model("m")
+        x = m.add_binary("x")
+        m.add(x >= 1, name="force")
+        assert m.check_assignment({x.index: 1.0}) == []
+        violations = m.check_assignment({x.index: 0.0})
+        assert any("force" in v for v in violations)
+        violations = m.check_assignment({x.index: 0.5})
+        assert any("integrality" in v for v in violations)
+        violations = m.check_assignment({x.index: 2.0})
+        assert any("bound" in v for v in violations)
+
+    def test_infinite_default_bounds(self):
+        m = Model("m")
+        x = m.add_continuous("x")
+        assert x.lb == 0.0 and math.isinf(x.ub)

@@ -1,0 +1,98 @@
+"""Tests for the lightweight presolver."""
+
+import pytest
+
+from repro.ilp import (
+    Model,
+    Sense,
+    SolveStatus,
+    lin_sum,
+    presolve,
+    solve_highs,
+    solve_with_presolve,
+)
+
+
+def test_singleton_row_fixes_variable():
+    m = Model("m")
+    x, y = m.add_binary("x"), m.add_binary("y")
+    m.add(x == 0)  # paper constraint (3) style row
+    m.add(x + y >= 1)
+    result = presolve(m)
+    assert not result.infeasible
+    # x == 0 fixes x; propagation then turns x + y >= 1 into a singleton
+    # row fixing y = 1.
+    assert result.fixed == {x.index: 0.0, y.index: 1.0}
+    assert result.model.stats().num_vars == 0
+
+
+def test_forcing_row_fixes_group():
+    m = Model("m")
+    xs = [m.add_binary(f"x{i}") for i in range(4)]
+    m.add(lin_sum(xs) <= 0)
+    result = presolve(m)
+    assert result.fixed == {x.index: 0.0 for x in xs}
+    assert result.model.stats().num_vars == 0
+
+
+def test_presolve_detects_infeasibility():
+    m = Model("m")
+    x = m.add_binary("x")
+    m.add(x >= 1)
+    m.add(x <= 0)
+    result = presolve(m)
+    assert result.infeasible
+
+
+def test_integer_bound_rounding():
+    m = Model("m")
+    x = m.add_integer("x", 0, 10)
+    m.add(2 * x <= 7)  # x <= 3.5 -> 3 for integer x
+    result = presolve(m)
+    assert result.model.var("x").ub == 3
+
+
+def test_lift_restores_original_space():
+    m = Model("m")
+    x, y, z = m.add_binary("x"), m.add_binary("y"), m.add_binary("z")
+    m.add(x == 1)
+    m.add(y + z >= 1)
+    m.minimize(5 * x + y + z)
+    solution = solve_with_presolve(m, solve_highs)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.value_int(x) == 1
+    assert solution.objective == pytest.approx(6.0)  # 5 (fixed) + 1
+    assert m.check_assignment(solution.values) == []
+
+
+def test_presolved_solution_matches_direct_solve():
+    m = Model("m")
+    xs = [m.add_binary(f"x{i}") for i in range(6)]
+    m.add(xs[0] == 0)
+    m.add(xs[1] == 1)
+    m.add(lin_sum(xs) <= 3)
+    m.maximize(lin_sum((i + 1) * x for i, x in enumerate(xs)))
+    direct = solve_highs(m)
+    lifted = solve_with_presolve(m, solve_highs)
+    assert direct.status is SolveStatus.OPTIMAL
+    assert lifted.status is SolveStatus.OPTIMAL
+    assert direct.objective == pytest.approx(lifted.objective)
+
+
+def test_objective_offset_from_fixed_vars():
+    m = Model("m")
+    x, y = m.add_binary("x"), m.add_binary("y")
+    m.add(x == 1)
+    m.minimize(10 * x + y)
+    result = presolve(m)
+    assert result.objective_offset == pytest.approx(10.0)
+
+
+def test_constant_row_consistency_checked():
+    m = Model("m")
+    x = m.add_binary("x")
+    m.add(x == 1)
+    # After substitution this row becomes 1 <= 0: infeasible.
+    m.add_terms([(x, 1.0)], Sense.LE, 0.0)
+    result = presolve(m)
+    assert result.infeasible

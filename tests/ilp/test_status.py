@@ -1,0 +1,45 @@
+"""Tests for solver status and solution types."""
+
+from repro.ilp import Model, Solution, SolveStatus
+
+
+class TestSolveStatus:
+    def test_proof_statuses(self):
+        assert SolveStatus.OPTIMAL.is_proof
+        assert SolveStatus.INFEASIBLE.is_proof
+        assert not SolveStatus.FEASIBLE.is_proof
+        assert not SolveStatus.TIMEOUT.is_proof
+        assert not SolveStatus.ERROR.is_proof
+
+    def test_has_solution(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution
+        assert not SolveStatus.UNBOUNDED.has_solution
+
+
+class TestSolution:
+    def test_value_accessors(self):
+        m = Model("m")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        solution = Solution(
+            status=SolveStatus.OPTIMAL, values={x.index: 1.0}
+        )
+        assert solution.value(x) == 1.0
+        assert solution.value(y) == 0.0  # absent defaults to zero
+        assert solution.value_int(x) == 1
+        assert solution.is_set(x)
+        assert not solution.is_set(y)
+
+    def test_is_set_tolerance(self):
+        m = Model("m")
+        x = m.add_binary("x")
+        solution = Solution(
+            status=SolveStatus.FEASIBLE, values={x.index: 1.0 - 1e-9}
+        )
+        assert solution.is_set(x)
+        solution = Solution(
+            status=SolveStatus.FEASIBLE, values={x.index: 0.5}
+        )
+        assert not solution.is_set(x)

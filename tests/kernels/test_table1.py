@@ -1,0 +1,106 @@
+"""Table 1 reproduction: every benchmark matches its published row."""
+
+import pytest
+
+from repro.dfg import assert_valid, compute
+from repro.kernels import (
+    BENCHMARK_NAMES,
+    EXPECTED_TABLE1,
+    all_kernels,
+    kernel,
+)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_characteristics_match_published_row(name):
+    stats = compute(kernel(name))
+    ios, operations, multiplies = EXPECTED_TABLE1[name]
+    assert stats.ios == ios, f"{name}: I/Os {stats.ios} != {ios}"
+    assert stats.internal_ops == operations, (
+        f"{name}: Operations {stats.internal_ops} != {operations}"
+    )
+    assert stats.multiplies == multiplies, (
+        f"{name}: # Multiplies {stats.multiplies} != {multiplies}"
+    )
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_every_benchmark_is_well_formed(name):
+    assert_valid(kernel(name))
+
+
+def test_nineteen_benchmarks_in_table_order():
+    assert len(BENCHMARK_NAMES) == 19
+    assert BENCHMARK_NAMES[0] == "accum"
+    assert BENCHMARK_NAMES[-1] == "weighted_sum"
+    assert set(BENCHMARK_NAMES) == set(EXPECTED_TABLE1)
+
+
+def test_all_kernels_builds_everything():
+    kernels = all_kernels()
+    assert list(kernels) == list(BENCHMARK_NAMES)
+    assert all(dfg.name == name for name, dfg in kernels.items())
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        kernel("fft_1024")
+
+
+class TestLoopKernels:
+    def test_accum_carries_back_edge(self):
+        stats = compute(kernel("accum"))
+        assert stats.back_edges == 1
+
+    def test_mac_carries_back_edge(self):
+        stats = compute(kernel("mac"))
+        assert stats.back_edges == 1
+
+    def test_mac_is_pure_memory_fed(self):
+        dfg = kernel("mac")
+        from repro.dfg import OpCode
+
+        assert len(dfg.ops_by_opcode(OpCode.LOAD)) == 4
+        assert len(dfg.ops_by_opcode(OpCode.INPUT)) == 0
+
+
+class TestStructuralExpectations:
+    def test_add_kernels_end_in_store(self):
+        from repro.dfg import OpCode
+
+        for name in ("add_10", "add_14", "add_16"):
+            dfg = kernel(name)
+            assert len(dfg.ops_by_opcode(OpCode.STORE)) == 1
+
+    def test_mult_kernels_are_chains(self):
+        stats = compute(kernel("mult_16"))
+        assert stats.depth == 17  # input -> 15 chained muls -> output
+
+    def test_extreme_is_deep_and_io_heavy(self):
+        stats = compute(kernel("extreme"))
+        assert stats.depth >= 15
+        assert stats.ios == 16
+
+    def test_taylor_kernels_have_high_fanout(self):
+        # The x input feeds many unshared power chains.
+        assert compute(kernel("cos_4")).max_fanout >= 10
+        assert compute(kernel("exp_4")).max_fanout >= 5
+
+    def test_parametric_generators(self):
+        from repro.dfg import compute as stats_of
+        from repro.kernels import add_n, mult_n
+
+        for n in (2, 5, 23):
+            s = stats_of(add_n(n))
+            assert (s.ios, s.internal_ops, s.multiplies) == (n, n, 0)
+        for n in (1, 4, 17):
+            s = stats_of(mult_n(n))
+            assert (s.ios, s.internal_ops, s.multiplies) == (n + 1, n, n)
+
+    def test_generator_input_validation(self):
+        from repro.kernels import add_n, mult_n
+
+        with pytest.raises(ValueError):
+            add_n(1)
+        with pytest.raises(ValueError):
+            mult_n(0)

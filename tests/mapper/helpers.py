@@ -1,0 +1,9 @@
+"""Test helpers: re-export the paper's Fig. 4 MRRG fragments."""
+
+from repro.mrrg.fragments import (  # noqa: F401
+    MRRGCraft,
+    crossed_operand_mrrg,
+    mrrg_a,
+    mrrg_c,
+    mrrg_loop,
+)

@@ -1,0 +1,84 @@
+"""Tests for the greedy list-scheduling mapper."""
+
+import pytest
+
+from repro.dfg import DFGBuilder
+from repro.kernels import conv_2x2_f
+from repro.mapper import MapStatus, verify
+from repro.mapper.greedy_mapper import GreedyMapper, GreedyMapperOptions
+
+
+def mapper(**kw):
+    defaults = dict(seed=3, restarts=4, time_limit=60)
+    defaults.update(kw)
+    return GreedyMapper(GreedyMapperOptions(**defaults))
+
+
+class TestGreedyMapper:
+    def test_maps_tiny_dfg(self, tiny_dfg, mrrg_2x2_ii1):
+        result = mapper().map(tiny_dfg, mrrg_2x2_ii1)
+        assert result.status is MapStatus.MAPPED
+        assert verify(result.mapping, strict_operands=True) == []
+
+    def test_maps_fanout(self, fanout_dfg, mrrg_2x2_ii1):
+        result = mapper().map(fanout_dfg, mrrg_2x2_ii1)
+        assert result.status is MapStatus.MAPPED
+        assert verify(result.mapping, strict_operands=True) == []
+
+    def test_maps_real_kernel_on_3x3(self, mrrg_3x3_ii1):
+        result = mapper(restarts=12, time_limit=120).map(
+            conv_2x2_f(), mrrg_3x3_ii1
+        )
+        if result.status is MapStatus.GAVE_UP:
+            # Constructive heuristics legitimately fail under tight
+            # budgets; only a wrong *successful* mapping would be a bug.
+            pytest.skip("greedy heuristic gave up within its budget")
+        assert result.status is MapStatus.MAPPED
+
+    def test_routes_back_edges(self, mrrg_2x2_ii1):
+        b = DFGBuilder("rec")
+        x = b.input("x")
+        ph = b.defer()
+        acc = b.add(x, ph, name="acc")
+        b.bind_back(ph, acc)
+        b.output(acc, name="o")
+        result = mapper().map(b.build(), mrrg_2x2_ii1)
+        assert result.status is MapStatus.MAPPED
+        assert verify(result.mapping, strict_operands=True) == []
+
+    def test_gives_up_on_capacity(self, mrrg_2x2_ii1):
+        b = DFGBuilder("big")
+        xs = [b.input(f"x{i}") for i in range(6)]
+        acc = xs[0]
+        for i in range(5):
+            acc = b.add(acc, xs[i + 1], name=f"a{i}")
+        b.output(acc, name="o")
+        result = mapper().map(b.build(), mrrg_2x2_ii1)
+        assert result.status is MapStatus.GAVE_UP
+        assert result.mapping is None
+
+    def test_gives_up_on_unsupported_op(self, mrrg_2x2_hetero_ii1):
+        b = DFGBuilder("muls")
+        xs = [b.input(f"x{i}") for i in range(4)]
+        m0 = b.mul(xs[0], xs[1], name="m0")
+        m1 = b.mul(xs[2], xs[3], name="m1")
+        b.output(b.mul(m0, m1, name="m2"), name="o")
+        result = mapper().map(b.build(), mrrg_2x2_hetero_ii1)
+        assert result.status is MapStatus.GAVE_UP
+
+    def test_deterministic_per_seed(self, tiny_dfg, mrrg_2x2_ii1):
+        # No time limit: wall-clock cutoffs would make restart counts (and
+        # therefore outcomes) load-dependent.
+        a = mapper(seed=11, time_limit=None).map(tiny_dfg, mrrg_2x2_ii1)
+        b = mapper(seed=11, time_limit=None).map(tiny_dfg, mrrg_2x2_ii1)
+        assert a.mapping.placement == b.mapping.placement
+
+    def test_cost_never_beats_ilp_optimum(self, tiny_dfg, mrrg_2x2_ii1):
+        from repro.mapper import ILPMapper, ILPMapperOptions
+
+        greedy = mapper().map(tiny_dfg, mrrg_2x2_ii1)
+        ilp = ILPMapper(ILPMapperOptions(time_limit=120)).map(
+            tiny_dfg, mrrg_2x2_ii1
+        )
+        assert ilp.proven_optimal
+        assert greedy.objective >= ilp.objective - 1e-6

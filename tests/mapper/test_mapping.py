@@ -1,0 +1,65 @@
+"""Tests for the Mapping result model."""
+
+import pytest
+
+from repro.dfg import DFGBuilder
+from repro.mapper import ILPMapper, order_route
+
+from .helpers import mrrg_a, mrrg_c
+
+
+@pytest.fixture
+def mapping():
+    b = DFGBuilder("dfg_a")
+    v = b.load("op1")
+    b.store(v, name="op2")
+    return ILPMapper().map(b.build(), mrrg_a()).mapping
+
+
+def test_fu_and_route_lookup(mapping):
+    assert mapping.fu_of("op1") == "fu1"
+    sink = mapping.dfg.value_of("op1").sinks[0]
+    assert "fu1.out" in mapping.route_of("op1", sink)
+
+
+def test_usage_and_cost(mapping):
+    usage = mapping.nodes_used_by_value()
+    assert all(vals == {"op1"} for vals in usage.values())
+    assert mapping.routing_cost() == 2  # fu1.out + one terminal port
+    assert mapping.route_nodes_used() == set(usage)
+
+
+def test_order_route_linearizes(mapping):
+    sink = mapping.dfg.value_of("op1").sinks[0]
+    path = order_route(mapping, "op1", sink)
+    assert path[0] == "fu1.out"
+    assert path[-1].endswith(".in0")
+    # Consecutive nodes are MRRG edges.
+    for a, b in zip(path, path[1:]):
+        assert b in mapping.mrrg.fanouts(a)
+
+
+def test_order_route_empty_for_missing(mapping):
+    from repro.dfg import Sink
+
+    assert order_route(mapping, "op1", Sink("ghost", 0)) == []
+
+
+def test_summary_and_text_report(mapping):
+    summary = mapping.summary()
+    assert "2 ops placed" in summary
+    text = mapping.to_text()
+    assert "placement:" in text
+    assert "op1" in text and "fu1" in text
+    assert "=>" in text
+
+
+def test_multi_fanout_cost_counts_shared_nodes_once():
+    b = DFGBuilder("dfg_b")
+    v = b.load("op1")
+    b.store(v, name="op2")
+    b.store(v, name="op3")
+    mapping = ILPMapper().map(b.build(), mrrg_c()).mapping
+    # Shared prefix (fu1.out) is one resource even though two sub-values
+    # traverse it.
+    assert mapping.routing_cost() == len(mapping.route_nodes_used())

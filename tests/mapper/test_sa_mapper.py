@@ -1,0 +1,88 @@
+"""Tests for the simulated-annealing baseline mapper."""
+
+import pytest
+
+from repro.dfg import DFGBuilder
+from repro.kernels import conv_2x2_f
+from repro.mapper import MapStatus, SAMapper, SAMapperOptions, verify
+
+
+def quick_options(**kw):
+    defaults = dict(
+        seed=3,
+        initial_temperature=5.0,
+        final_temperature=0.2,
+        cooling=0.7,
+        moves_per_temperature=24,
+        restarts=2,
+        time_limit=60.0,
+    )
+    defaults.update(kw)
+    return SAMapperOptions(**defaults)
+
+
+class TestSAMapper:
+    def test_maps_tiny_dfg(self, tiny_dfg, mrrg_2x2_ii1):
+        result = SAMapper(quick_options()).map(tiny_dfg, mrrg_2x2_ii1)
+        assert result.status is MapStatus.MAPPED
+        assert verify(result.mapping, strict_operands=True) == []
+        assert not result.proven_optimal  # SA never proves anything
+
+    def test_maps_multi_fanout(self, fanout_dfg, mrrg_2x2_ii1):
+        result = SAMapper(quick_options()).map(fanout_dfg, mrrg_2x2_ii1)
+        assert result.status is MapStatus.MAPPED
+        assert verify(result.mapping, strict_operands=True) == []
+
+    def test_maps_real_kernel(self, mrrg_3x3_ii1):
+        result = SAMapper(quick_options(time_limit=120)).map(
+            conv_2x2_f(), mrrg_3x3_ii1
+        )
+        if result.status is MapStatus.GAVE_UP:
+            pytest.skip("SA gave up within its budget (heuristic)")
+        assert result.status is MapStatus.MAPPED
+
+    def test_deterministic_given_seed(self, tiny_dfg, mrrg_2x2_ii1):
+        # No wall-clock cutoff: determinism must not depend on load.
+        a = SAMapper(quick_options(seed=11, time_limit=None)).map(
+            tiny_dfg, mrrg_2x2_ii1
+        )
+        b = SAMapper(quick_options(seed=11, time_limit=None)).map(
+            tiny_dfg, mrrg_2x2_ii1
+        )
+        assert a.status == b.status
+        assert a.mapping.placement == b.mapping.placement
+
+    def test_gives_up_without_claiming_infeasibility(self, mrrg_2x2_ii1):
+        # 5 adds > 4 ALUs: SA cannot even place; it must report GAVE_UP
+        # (not INFEASIBLE — heuristics cannot prove anything).
+        b = DFGBuilder("big")
+        xs = [b.input(f"x{i}") for i in range(6)]
+        level = [b.add(xs[i], xs[i + 1], name=f"a{i}") for i in range(5)]
+        for i, node in enumerate(level):
+            b.output(node, name=f"o{i}")
+        result = SAMapper(quick_options()).map(b.build(), mrrg_2x2_ii1)
+        assert result.status is MapStatus.GAVE_UP
+        assert result.mapping is None
+
+    def test_unsupported_op_gives_up(self, mrrg_2x2_hetero_ii1):
+        b = DFGBuilder("muls")
+        xs = [b.input(f"x{i}") for i in range(4)]
+        m0 = b.mul(xs[0], xs[1], name="m0")
+        m1 = b.mul(xs[2], xs[3], name="m1")
+        b.output(b.mul(m0, m1, name="m2"), name="o")
+        result = SAMapper(quick_options()).map(b.build(), mrrg_2x2_hetero_ii1)
+        assert result.status is MapStatus.GAVE_UP
+
+    def test_respects_time_limit(self, mrrg_2x2_ii1):
+        b = DFGBuilder("big")
+        xs = [b.input(f"x{i}") for i in range(4)]
+        s = b.add(b.add(xs[0], xs[1]), b.add(xs[2], xs[3]))
+        b.output(s)
+        result = SAMapper(quick_options(time_limit=0.2)).map(
+            b.build(), mrrg_2x2_ii1
+        )
+        assert result.solve_time < 5.0
+
+    def test_objective_reports_routing_cost(self, tiny_dfg, mrrg_2x2_ii1):
+        result = SAMapper(quick_options()).map(tiny_dfg, mrrg_2x2_ii1)
+        assert result.objective == result.mapping.routing_cost()

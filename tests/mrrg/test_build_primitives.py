@@ -1,0 +1,158 @@
+"""MRRG generation rules for primitives — the paper's Figs. 1 and 2.
+
+Each test builds a minimal module around one primitive and checks the
+generated MRRG fragment matches the published translation.
+"""
+
+import pytest
+
+from repro.arch import Module, flatten
+from repro.dfg import OpCode
+from repro.mrrg import NodeKind, build_mrrg, node_id
+
+
+def harness_with(primitive_adder) -> Module:
+    """A module with a generator FU, the primitive under test, and a
+    consumer FU, so that flattening sees fully driven nets."""
+    m = Module("harness")
+    m.add_fu("gen", [OpCode.LOAD])
+    m.add_fu("sink", [OpCode.STORE])
+    primitive_adder(m)
+    return m
+
+
+class TestMultiplexerRule:
+    """Fig. 1: a 2-to-1 mux -> dedicated input nodes + exclusivity node."""
+
+    def build(self, ii):
+        m = harness_with(lambda mod: mod.add_mux("mux", 2))
+        m.add_fu("gen2", [OpCode.LOAD])
+        m.connect("gen.out", "mux.in0")
+        m.connect("gen2.out", "mux.in1")
+        m.connect("mux.out", "sink.in0")
+        return build_mrrg(flatten(m), ii)
+
+    def test_node_structure_single_context(self):
+        g = self.build(1)
+        mux = g.node(node_id(0, "mux", "mux"))
+        in0 = g.node(node_id(0, "mux", "in0"))
+        in1 = g.node(node_id(0, "mux", "in1"))
+        assert mux.is_route and in0.is_route and in1.is_route
+        # Dedicated input nodes guarantee exclusivity to a single input.
+        assert g.fanouts(in0.node_id) == (mux.node_id,)
+        assert g.fanouts(in1.node_id) == (mux.node_id,)
+        assert set(g.fanins(mux.node_id)) == {in0.node_id, in1.node_id}
+
+    def test_replicated_per_context(self):
+        # "multiple copies of this structure are present for each cycle"
+        g = self.build(3)
+        for ctx in range(3):
+            assert node_id(ctx, "mux", "mux") in g
+            assert node_id(ctx, "mux", "in0") in g
+
+    def test_mux_connects_within_context_only(self):
+        g = self.build(2)
+        for ctx in range(2):
+            in0 = node_id(ctx, "mux", "in0")
+            assert g.node(g.fanouts(in0)[0]).context == ctx
+
+
+class TestRegisterRule:
+    """Fig. 1: a register is a special wire crossing into the next cycle."""
+
+    def build(self, ii):
+        m = harness_with(lambda mod: mod.add_reg("r"))
+        m.connect("gen.out", "r.in")
+        m.connect("r.out", "sink.in0")
+        return build_mrrg(flatten(m), ii)
+
+    def test_register_crosses_cycles(self):
+        g = self.build(2)
+        # in at context 0 drives out at context 1 and vice versa.
+        assert g.fanouts(node_id(0, "r", "in")) == (node_id(1, "r", "out"),)
+        assert g.fanouts(node_id(1, "r", "in")) == (node_id(0, "r", "out"),)
+
+    def test_register_self_wraps_single_context(self):
+        # With II=1 the modulo wrap makes the register a self-context wire.
+        g = self.build(1)
+        assert g.fanouts(node_id(0, "r", "in")) == (node_id(0, "r", "out"),)
+
+
+class TestFunctionalUnitRule:
+    """Fig. 2: latency/II of functional units."""
+
+    def build(self, latency, fu_ii, ii):
+        m = Module("m")
+        m.add_fu("gen", [OpCode.LOAD])
+        m.add_fu("gen2", [OpCode.LOAD])
+        m.add_fu("mul", [OpCode.MUL], latency=latency, ii=fu_ii)
+        m.add_fu("sink", [OpCode.STORE])
+        m.connect("gen.out", "mul.in0")
+        m.connect("gen2.out", "mul.in1")
+        m.connect("mul.out", "sink.in0")
+        return build_mrrg(flatten(m), ii)
+
+    def test_combinational_unit(self):
+        g = self.build(0, 1, 1)
+        fu = g.node(node_id(0, "mul", "fu"))
+        assert fu.is_function and fu.supports(OpCode.MUL)
+        assert fu.operand_ports == {
+            0: node_id(0, "mul", "in0"),
+            1: node_id(0, "mul", "in1"),
+        }
+        assert fu.output == node_id(0, "mul", "out")
+
+    def test_one_cycle_multiply(self):
+        # L=1, II=1: "the output vertex is in the subsequent cycle" and the
+        # structure repeats every cycle.
+        g = self.build(1, 1, 2)
+        fu0 = g.node(node_id(0, "mul", "fu"))
+        fu1 = g.node(node_id(1, "mul", "fu"))
+        assert fu0.output == node_id(1, "mul", "out")
+        assert fu1.output == node_id(0, "mul", "out")
+
+    def test_unpipelined_two_cycle_multiply(self):
+        # L=2, II=2: available only every other cycle.
+        g = self.build(2, 2, 2)
+        assert node_id(0, "mul", "fu") in g
+        assert node_id(1, "mul", "fu") not in g
+        fu0 = g.node(node_id(0, "mul", "fu"))
+        assert fu0.output == node_id(0, "mul", "out")  # (0+2) mod 2
+
+    def test_pipelined_two_cycle_multiply(self):
+        # L=2, II=1: replicated every cycle, each producing 2 cycles later.
+        g = self.build(2, 1, 4)
+        for ctx in range(4):
+            fu = g.node(node_id(ctx, "mul", "fu"))
+            assert fu.output == node_id((ctx + 2) % 4, "mul", "out")
+
+    def test_unavailable_slots_have_no_ports(self):
+        g = self.build(2, 2, 4)
+        assert node_id(1, "mul", "in0") not in g
+        assert node_id(2, "mul", "in0") in g  # 2 % 2 == 0
+
+    def test_edges_follow_port_availability(self):
+        # The generator's output at context 1 has no mul sink (not
+        # issuable), so the net edge is dropped there.
+        g = self.build(0, 2, 2)
+        gen_out_c1 = node_id(1, "gen", "out")
+        assert g.fanouts(gen_out_c1) == ()
+
+
+class TestSinkAndSourceFUs:
+    def test_store_fu_has_no_output_node(self):
+        m = Module("m")
+        m.add_fu("gen", [OpCode.LOAD])
+        m.add_fu("st", [OpCode.STORE])
+        m.connect("gen.out", "st.in0")
+        g = build_mrrg(flatten(m), 1)
+        assert g.node(node_id(0, "st", "fu")).output is None
+
+    def test_io_pad_shape(self):
+        from repro.arch import io_block
+
+        g = build_mrrg(flatten(io_block("io")), 1)
+        pad = g.node(node_id(0, "pad", "fu"))
+        assert pad.supports(OpCode.INPUT) and pad.supports(OpCode.OUTPUT)
+        assert pad.output is not None
+        assert 0 in pad.operand_ports

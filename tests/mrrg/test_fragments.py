@@ -1,0 +1,70 @@
+"""Tests for the hand-built Fig. 4 MRRG fragments."""
+
+import pytest
+
+from repro.dfg import OpCode
+from repro.mrrg import (
+    MRRGCraft,
+    assert_valid,
+    crossed_operand_mrrg,
+    mrrg_a,
+    mrrg_c,
+    mrrg_loop,
+)
+
+
+class TestMRRGCraft:
+    def test_fu_bookkeeping(self):
+        c = MRRGCraft()
+        c.fu("alu", [OpCode.ADD], num_ports=2)
+        g = c.build()
+        alu = g.node("alu")
+        assert alu.operand_ports == {0: "alu.in0", 1: "alu.in1"}
+        assert alu.output == "alu.out"
+        assert g.node("alu.in1").operand == 1
+        assert g.node("alu.in1").fu == "alu"
+
+    def test_chain_builds_edges(self):
+        c = MRRGCraft()
+        a, b, d = c.route("a"), c.route("b"), c.route("d")
+        c.chain(a, b, d)
+        g = c.build()
+        assert g.fanouts("a") == ("b",)
+        assert g.fanouts("b") == ("d",)
+
+
+@pytest.mark.parametrize(
+    "builder", [mrrg_a, mrrg_c, mrrg_loop, crossed_operand_mrrg]
+)
+def test_fragments_are_structurally_valid(builder):
+    assert_valid(builder())
+
+
+class TestFragmentShapes:
+    def test_mrrg_a_matches_fig4(self):
+        g = mrrg_a()
+        # FU1's output reaches both sinks' operand ports.
+        assert set(g.fanouts("fu1.out")) == {"fu2.in0", "fu3.in0"}
+
+    def test_mrrg_c_has_disjoint_clouds(self):
+        g = mrrg_c()
+        assert g.fanouts("c1") == ("fu2.in0",)
+        assert g.fanouts("c2") == ("fu3.in0",)
+
+    def test_loop_fragment_contains_cycle(self):
+        import networkx as nx
+
+        g = mrrg_loop()
+        nxg = nx.DiGraph(list(g.edges()))
+        assert not nx.is_directed_acyclic_graph(nxg)
+        # The multi-fan-in node has dedicated inputs (constraint 9's
+        # soundness invariant).
+        assert set(g.route_fanins("m")) == {"a", "b"}
+
+    def test_loop_tail_length_parameter(self):
+        assert len(mrrg_loop(tail_length=5)) == len(mrrg_loop(tail_length=3)) + 2
+
+    def test_crossed_operands_wiring(self):
+        g = crossed_operand_mrrg()
+        assert g.fanouts("srca.out") == ("alu.in1",)
+        assert g.fanouts("srcb.out") == ("alu.in0",)

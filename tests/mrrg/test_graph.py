@@ -1,0 +1,124 @@
+"""Tests for the MRRG data structure."""
+
+import pytest
+
+from repro.dfg import OpCode
+from repro.mrrg import MRRG, MRRGError, MRRGNode, NodeKind, node_id
+
+
+def route(ctx, path, tag):
+    return MRRGNode(node_id(ctx, path, tag), NodeKind.ROUTE, ctx, path, tag)
+
+
+def func(ctx, path, ops):
+    return MRRGNode(
+        node_id(ctx, path, "fu"), NodeKind.FUNCTION, ctx, path, "fu",
+        ops=frozenset(ops),
+    )
+
+
+class TestConstruction:
+    def test_add_nodes_and_edges(self):
+        g = MRRG("g", 1)
+        a = g.add_node(route(0, "a", "out"))
+        b = g.add_node(route(0, "b", "in"))
+        g.add_edge(a.node_id, b.node_id)
+        assert len(g) == 2
+        assert g.fanouts(a.node_id) == (b.node_id,)
+        assert g.fanins(b.node_id) == (a.node_id,)
+
+    def test_duplicate_node_rejected(self):
+        g = MRRG("g", 1)
+        g.add_node(route(0, "a", "out"))
+        with pytest.raises(MRRGError, match="duplicate"):
+            g.add_node(route(0, "a", "out"))
+
+    def test_context_bounds_enforced(self):
+        g = MRRG("g", 2)
+        with pytest.raises(MRRGError, match="context"):
+            g.add_node(route(2, "a", "out"))
+        with pytest.raises(MRRGError):
+            MRRG("g", 0)
+
+    def test_edge_to_missing_node_rejected(self):
+        g = MRRG("g", 1)
+        g.add_node(route(0, "a", "out"))
+        with pytest.raises(MRRGError, match="does not exist"):
+            g.add_edge(node_id(0, "a", "out"), "ghost")
+
+    def test_fu_to_fu_edge_rejected(self):
+        g = MRRG("g", 1)
+        f1 = g.add_node(func(0, "a", [OpCode.ADD]))
+        f2 = g.add_node(func(0, "b", [OpCode.ADD]))
+        with pytest.raises(MRRGError, match="FuncUnit->FuncUnit"):
+            g.add_edge(f1.node_id, f2.node_id)
+
+    def test_duplicate_edge_rejected(self):
+        g = MRRG("g", 1)
+        a = g.add_node(route(0, "a", "out"))
+        b = g.add_node(route(0, "b", "in"))
+        g.add_edge(a.node_id, b.node_id)
+        with pytest.raises(MRRGError, match="duplicate edge"):
+            g.add_edge(a.node_id, b.node_id)
+
+    def test_remove_node_cleans_edges(self):
+        g = MRRG("g", 1)
+        a = g.add_node(route(0, "a", "out"))
+        b = g.add_node(route(0, "b", "in"))
+        c = g.add_node(route(0, "c", "in"))
+        g.add_edge(a.node_id, b.node_id)
+        g.add_edge(b.node_id, c.node_id)
+        g.remove_node(b.node_id)
+        assert g.fanouts(a.node_id) == ()
+        assert g.fanins(c.node_id) == ()
+
+
+class TestQueries:
+    def test_kind_partition(self):
+        g = MRRG("g", 1)
+        g.add_node(func(0, "a", [OpCode.ADD]))
+        g.add_node(route(0, "b", "out"))
+        assert len(g.function_nodes()) == 1
+        assert len(g.route_nodes()) == 1
+
+    def test_function_nodes_supporting(self):
+        g = MRRG("g", 1)
+        g.add_node(func(0, "a", [OpCode.ADD]))
+        g.add_node(func(0, "b", [OpCode.MUL, OpCode.ADD]))
+        assert len(g.function_nodes_supporting(OpCode.MUL)) == 1
+        assert len(g.function_nodes_supporting(OpCode.ADD)) == 2
+
+    def test_route_fanouts_excludes_function_nodes(self):
+        g = MRRG("g", 1)
+        a = g.add_node(route(0, "a", "out"))
+        f = g.add_node(func(0, "f", [OpCode.ADD]))
+        b = g.add_node(route(0, "b", "in"))
+        g.add_edge(a.node_id, f.node_id)
+        g.add_edge(a.node_id, b.node_id)
+        assert g.route_fanouts(a.node_id) == (b.node_id,)
+        assert set(g.fanouts(a.node_id)) == {f.node_id, b.node_id}
+
+    def test_copy_preserves_structure(self):
+        g = MRRG("g", 2)
+        a = g.add_node(route(0, "a", "out"))
+        b = g.add_node(route(1, "b", "in"))
+        g.add_edge(a.node_id, b.node_id)
+        clone = g.copy()
+        assert len(clone) == 2
+        assert clone.fanouts(a.node_id) == (b.node_id,)
+        clone.remove_node(a.node_id)
+        assert a.node_id in g  # original untouched
+
+    def test_subgraph_drops_dangling_references(self):
+        g = MRRG("g", 1)
+        f = g.add_node(func(0, "f", [OpCode.NOT]))
+        pin = g.add_node(route(0, "f", "in0"))
+        pin.operand, pin.fu = 0, f.node_id
+        out = g.add_node(route(0, "f", "out"))
+        f.operand_ports[0] = pin.node_id
+        f.output = out.node_id
+        g.add_edge(pin.node_id, f.node_id)
+        g.add_edge(f.node_id, out.node_id)
+        sub = g.subgraph([f.node_id, out.node_id])
+        assert sub.node(f.node_id).operand_ports == {}
+        assert sub.node(f.node_id).output == out.node_id

@@ -1,0 +1,81 @@
+"""Tests for MRRG structural validation (constraint-9 soundness invariant)."""
+
+import pytest
+
+from repro.dfg import OpCode
+from repro.mrrg import MRRG, MRRGNode, NodeKind, node_id
+from repro.mrrg.validate import MRRGValidationError, assert_valid, check
+
+
+def route(g, ctx, path, tag, **kw):
+    return g.add_node(
+        MRRGNode(node_id(ctx, path, tag), NodeKind.ROUTE, ctx, path, tag, **kw)
+    )
+
+
+def func(g, ctx, path, ops=(OpCode.ADD,)):
+    return g.add_node(
+        MRRGNode(
+            node_id(ctx, path, "fu"), NodeKind.FUNCTION, ctx, path, "fu",
+            ops=frozenset(ops),
+        )
+    )
+
+
+def test_clean_mux_structure_passes():
+    g = MRRG("g", 1)
+    mux = route(g, 0, "m", "mux")
+    a = route(g, 0, "m", "in0")
+    b = route(g, 0, "m", "in1")
+    g.add_edge(a.node_id, mux.node_id)
+    g.add_edge(b.node_id, mux.node_id)
+    assert check(g) == []
+
+
+def test_shared_fanin_violates_mux_invariant():
+    # A multi-fan-in node whose fan-in also drives something else breaks
+    # the equality form of constraint (9).
+    g = MRRG("g", 1)
+    mux = route(g, 0, "m", "mux")
+    a = route(g, 0, "m", "in0")
+    b = route(g, 0, "m", "in1")
+    elsewhere = route(g, 0, "w", "wire")
+    g.add_edge(a.node_id, mux.node_id)
+    g.add_edge(b.node_id, mux.node_id)
+    g.add_edge(a.node_id, elsewhere.node_id)  # a now has two fanouts
+    issues = check(g)
+    assert any("mux-input invariant" in issue for issue in issues)
+
+
+def test_fu_with_mixed_fanin_flagged():
+    g = MRRG("g", 1)
+    fu = func(g, 0, "f")
+    stray = route(g, 0, "w", "wire")
+    g.add_edge(stray.node_id, fu.node_id)
+    issues = check(g)
+    assert any("not one of its operand ports" in issue for issue in issues)
+
+
+def test_fu_port_bookkeeping_checked():
+    g = MRRG("g", 1)
+    fu = func(g, 0, "f")
+    fu.operand_ports[0] = "ghost"
+    issues = check(g)
+    assert any("missing" in issue for issue in issues)
+
+
+def test_fu_output_edge_checked():
+    g = MRRG("g", 1)
+    fu = func(g, 0, "f")
+    out = route(g, 0, "f", "out")
+    fu.output = out.node_id  # but no edge fu -> out
+    issues = check(g)
+    assert any("no edge to its output" in issue for issue in issues)
+
+
+def test_assert_valid_raises():
+    g = MRRG("g", 1)
+    fu = func(g, 0, "f")
+    fu.operand_ports[0] = "ghost"
+    with pytest.raises(MRRGValidationError):
+        assert_valid(g)

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_map_defaults(self):
+        args = build_parser().parse_args(["map", "accum"])
+        assert args.benchmark == "accum"
+        assert args.style == "homogeneous"
+        assert args.mapper == "ilp"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map", "nonexistent"])
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--benchmarks", "mac", "accum", "--contexts", "1",
+             "--with-sa"]
+        )
+        assert args.benchmarks == ["mac", "accum"]
+        assert args.contexts == 1
+        assert args.with_sa
+
+
+class TestCommands:
+    def test_bench_info(self, capsys):
+        assert main(["bench-info"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted_sum" in out
+
+    def test_arch_info(self, capsys):
+        assert main(["arch-info", "--rows", "2", "--cols", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "MRRG ii=1" in out
+
+    def test_export_arch(self, capsys):
+        assert main(
+            ["export-arch", "--rows", "2", "--cols", "2",
+             "--interconnect", "diagonal"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<architecture")
+        from repro.arch import parse_architecture
+
+        parse_architecture(out)  # must be valid ADL
+
+    def test_map_command(self, capsys):
+        code = main(
+            ["map", "2x2-f", "--rows", "3", "--cols", "3",
+             "--time-limit", "120", "-v"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2x2-f" in out
+        assert "routing cost" in out
+        assert "placement:" in out  # verbose mapping dump
+
+    def test_map_sa_command(self, capsys):
+        code = main(
+            ["map", "2x2-f", "--rows", "3", "--cols", "3", "--mapper", "sa",
+             "--time-limit", "60"]
+        )
+        assert code == 0
+
+    def test_sweep_command(self, capsys):
+        code = main(
+            ["sweep", "--benchmarks", "2x2-f", "--contexts", "1",
+             "--rows", "3", "--cols", "3", "--time-limit", "60"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Total Feasible" in out

@@ -1,0 +1,91 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro import quick_map
+from repro.arch import Architecture, parse_architecture, serialize_architecture
+from repro.dfg import parse, serialize
+from repro.kernels import kernel
+from repro.mapper import ILPMapper, ILPMapperOptions, MapStatus, SAMapper, SAMapperOptions, verify
+from repro.mrrg import assert_valid, build_mrrg_from_module, prune
+
+
+class TestQuickMap:
+    def test_quick_map_small_arch(self):
+        result = quick_map("2x2-f", rows=3, cols=3, time_limit=120)
+        assert result.status is MapStatus.MAPPED
+        assert verify(result.mapping, strict_operands=True) == []
+
+    def test_quick_map_infeasible_case(self):
+        # mult_10 needs 9 multipliers; a 2x2 heterogeneous fabric has 2.
+        result = quick_map(
+            "mult_10", "heterogeneous", rows=2, cols=2, time_limit=60
+        )
+        assert result.status is MapStatus.INFEASIBLE
+
+
+class TestAdlRoundTripThenMap:
+    def test_serialized_architecture_maps_identically(self):
+        from repro.arch import paper_architecture
+
+        top = paper_architecture("homogeneous", "orthogonal", rows=3, cols=3)
+        text = serialize_architecture(Architecture.from_top(top))
+        reparsed = parse_architecture(text).top_module
+
+        dfg = kernel("2x2-f")
+        mapper = ILPMapper(ILPMapperOptions(time_limit=120))
+        original = mapper.map(dfg, prune(build_mrrg_from_module(top, 1)))
+        roundtrip = mapper.map(dfg, prune(build_mrrg_from_module(reparsed, 1)))
+        assert original.status == roundtrip.status
+        assert original.objective == pytest.approx(roundtrip.objective)
+
+
+class TestDfgRoundTripThenMap:
+    def test_parsed_kernel_maps_like_built_kernel(self, mrrg_3x3_ii1):
+        dfg = kernel("2x2-f")
+        reparsed = parse(serialize(dfg))
+        mapper = ILPMapper(ILPMapperOptions(time_limit=120))
+        a = mapper.map(dfg, mrrg_3x3_ii1)
+        b = mapper.map(reparsed, mrrg_3x3_ii1)
+        assert a.status == b.status == MapStatus.MAPPED
+        assert a.objective == pytest.approx(b.objective)
+
+
+class TestCrossMapperConsistency:
+    def test_sa_success_implies_ilp_feasible(self, mrrg_3x3_ii1):
+        # Any mapping SA finds is a feasibility certificate: the ILP must
+        # agree (it can only do better).
+        dfg = kernel("2x2-f")
+        sa = SAMapper(SAMapperOptions(seed=5, time_limit=60)).map(
+            dfg, mrrg_3x3_ii1
+        )
+        ilp = ILPMapper(ILPMapperOptions(time_limit=120)).map(dfg, mrrg_3x3_ii1)
+        assert ilp.status is MapStatus.MAPPED
+        if sa.status is MapStatus.MAPPED:
+            assert ilp.objective <= sa.objective + 1e-6
+
+    def test_ilp_optimum_bounds_sa_cost(self, mrrg_2x2_ii1, fanout_dfg):
+        ilp = ILPMapper(ILPMapperOptions(time_limit=120)).map(
+            fanout_dfg, mrrg_2x2_ii1
+        )
+        sa = SAMapper(SAMapperOptions(seed=9, time_limit=60)).map(
+            fanout_dfg, mrrg_2x2_ii1
+        )
+        assert ilp.proven_optimal
+        if sa.mapping is not None:
+            assert sa.mapping.routing_cost() >= ilp.objective - 1e-6
+
+
+class TestMRRGPipeline:
+    @pytest.mark.parametrize("contexts", [1, 2, 3])
+    def test_prune_preserves_validity_and_mappability(self, contexts):
+        from repro.arch import GridSpec, build_grid
+
+        top = build_grid(GridSpec(rows=2, cols=2), name="g")
+        full = build_mrrg_from_module(top, contexts)
+        pruned = prune(full)
+        assert_valid(pruned)
+        dfg = kernel("2x2-f")
+        a = ILPMapper(ILPMapperOptions(time_limit=120)).map(dfg, full)
+        b = ILPMapper(ILPMapperOptions(time_limit=120)).map(dfg, pruned)
+        assert a.status == b.status
