@@ -9,7 +9,14 @@ Subcommands:
   execute it cycle by cycle and check against the reference interpreter;
 * ``bench-info`` — print Table 1 (benchmark characteristics);
 * ``arch-info`` — print MRRG statistics for an architecture;
-* ``export-arch`` — emit the ADL XML of a test architecture.
+* ``export-arch`` — emit the ADL XML of a test architecture;
+* ``service stats`` / ``service cache-info`` — inspect the mapping
+  service's telemetry JSONL and result cache.
+
+``map`` and ``sweep`` accept ``--cache-dir``/``--telemetry`` to route
+through the :mod:`repro.service` layer: repeated identical requests are
+served from the content-addressed cache, and ``--mapper portfolio``
+engages the greedy -> sa -> ilp escalation ladder.
 """
 
 from __future__ import annotations
@@ -23,12 +30,16 @@ from .explore.figures import render_figure8
 from .explore.runner import SweepConfig, build_arch_mrrg, run_sweep
 from .explore.tables import render_table1, render_table2
 from .kernels.registry import BENCHMARK_NAMES, kernel
+from .mapper.greedy_mapper import GreedyMapper, GreedyMapperOptions
 from .mapper.ilp_mapper import ILPMapper, ILPMapperOptions
 from .mapper.sa_mapper import SAMapper, SAMapperOptions
 from .mrrg.analysis import stats
 from .mrrg.build import build_mrrg_from_module
 from .mrrg.graph import MRRG
 from .mrrg.analysis import prune
+from .service.core import MapRequest, MappingService
+from .service.portfolio import PortfolioConfig, default_ladder, single_stage
+from .service.telemetry import read_events, summarize_events
 
 
 def _add_arch_args(parser: argparse.ArgumentParser) -> None:
@@ -56,24 +67,83 @@ def _build_mrrg(args) -> MRRG:
     return prune(build_mrrg_from_module(top, args.contexts))
 
 
+def _service_portfolio(args) -> PortfolioConfig:
+    """Translate ``map`` flags into a portfolio configuration."""
+    if args.mapper == "portfolio":
+        return PortfolioConfig(
+            stages=default_ladder(exact_budget=args.time_limit),
+            deadline=args.time_limit * 2,
+        )
+    if args.mapper == "ilp":
+        return PortfolioConfig(
+            stages=single_stage(
+                "ilp", backend=args.backend, time_limit=args.time_limit
+            ),
+            mip_rel_gap=None if args.optimal else 1.0,
+        )
+    return PortfolioConfig(
+        stages=single_stage(
+            args.mapper, time_limit=args.time_limit, seed=args.seed
+        )
+    )
+
+
 def _cmd_map(args) -> int:
     dfg = kernel(args.benchmark)
-    mrrg = _build_mrrg(args)
-    if args.mapper == "sa":
-        mapper = SAMapper(SAMapperOptions(time_limit=args.time_limit, seed=args.seed))
-    else:
-        mapper = ILPMapper(
-            ILPMapperOptions(
-                backend=args.backend,
-                time_limit=args.time_limit,
-                mip_rel_gap=None if args.optimal else 1.0,
-            )
+    use_service = bool(
+        args.cache_dir or args.telemetry or args.mapper == "portfolio"
+    )
+    provenance = ""
+    if use_service:
+        top = paper_architecture(
+            args.style, args.interconnect, rows=args.rows, cols=args.cols
         )
-    result = mapper.map(dfg, mrrg)
+        with MappingService(
+            portfolio=_service_portfolio(args),
+            cache_dir=args.cache_dir,
+            telemetry_path=args.telemetry,
+        ) as service:
+            answer = service.map_request(
+                MapRequest(
+                    dfg=dfg,
+                    arch=top,
+                    contexts=args.contexts,
+                    label=args.benchmark,
+                )
+            )
+        result = answer.result
+        source = "cache" if answer.cache_hit else "solved"
+        provenance = f"served: {source}"
+        if answer.stage:
+            provenance += f" (stage {answer.stage})"
+        if answer.degraded:
+            provenance += " [degraded: exact stage timed out]"
+        provenance += f"\nfingerprint: {answer.fingerprint[:16]}"
+    else:
+        mrrg = _build_mrrg(args)
+        if args.mapper == "sa":
+            mapper = SAMapper(
+                SAMapperOptions(time_limit=args.time_limit, seed=args.seed)
+            )
+        elif args.mapper == "greedy":
+            mapper = GreedyMapper(
+                GreedyMapperOptions(time_limit=args.time_limit, seed=args.seed)
+            )
+        else:
+            mapper = ILPMapper(
+                ILPMapperOptions(
+                    backend=args.backend,
+                    time_limit=args.time_limit,
+                    mip_rel_gap=None if args.optimal else 1.0,
+                )
+            )
+        result = mapper.map(dfg, mrrg)
     print(
         f"{args.benchmark} on {args.style}/{args.interconnect} "
         f"(II={args.contexts}): {result.status.value}"
     )
+    if provenance:
+        print(provenance)
     if result.objective is not None:
         optimality = "optimal" if result.proven_optimal else "feasible"
         print(f"routing cost: {result.objective:.0f} ({optimality})")
@@ -112,12 +182,64 @@ def _cmd_sweep(args) -> int:
         cols=args.cols,
         progress=progress if args.verbose else None,
     )
+
+    def make_service(mapper: str) -> MappingService | None:
+        if not (args.cache_dir or args.telemetry):
+            return None
+        return MappingService(
+            portfolio=PortfolioConfig(
+                stages=single_stage(mapper, time_limit=args.time_limit)
+            ),
+            cache_dir=args.cache_dir,
+            telemetry_path=args.telemetry,
+        )
+
     mrrgs = {a.key: build_arch_mrrg(a, args.rows, args.cols) for a in architectures}
-    ilp_records = run_sweep(config, mapper_name="ilp", mrrgs=mrrgs)
+    ilp_service = make_service("ilp")
+    try:
+        ilp_records = run_sweep(
+            config,
+            mapper_name="ilp",
+            mrrgs=mrrgs,
+            store_path=args.store,
+            service=ilp_service,
+        )
+    finally:
+        if ilp_service is not None:
+            ilp_service.close()
     print(render_table2(ilp_records, architectures))
     if args.with_sa:
-        sa_records = run_sweep(config, mapper_name="sa", mrrgs=mrrgs)
+        sa_service = make_service("sa")
+        try:
+            sa_records = run_sweep(
+                config,
+                mapper_name="sa",
+                mrrgs=mrrgs,
+                store_path=args.store,
+                service=sa_service,
+            )
+        finally:
+            if sa_service is not None:
+                sa_service.close()
         print(render_figure8(ilp_records, sa_records, architectures))
+    return 0
+
+
+def _cmd_service_stats(args) -> int:
+    events = read_events(args.telemetry)
+    print(summarize_events(events), end="")
+    return 0
+
+
+def _cmd_service_cache_info(args) -> int:
+    from .service.cache import MappingCache
+
+    info = MappingCache(args.cache_dir).stats()
+    print(f"cache at {args.cache_dir}")
+    print(f"  entries: {info['entries']} across {info['shards']} shards")
+    for status in sorted(info["by_status"]):
+        print(f"    {status}: {info['by_status'][status]}")
+    print(f"  disk: {info['disk_bytes']} bytes")
     return 0
 
 
@@ -203,12 +325,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_map = sub.add_parser("map", help="map a benchmark onto an architecture")
     p_map.add_argument("benchmark", choices=BENCHMARK_NAMES)
     _add_arch_args(p_map)
-    p_map.add_argument("--mapper", choices=("ilp", "sa"), default="ilp")
+    p_map.add_argument(
+        "--mapper", choices=("ilp", "sa", "greedy", "portfolio"), default="ilp"
+    )
     p_map.add_argument("--backend", choices=("highs", "bnb"), default="highs")
     p_map.add_argument("--time-limit", type=float, default=120.0)
     p_map.add_argument("--optimal", action="store_true",
                        help="prove routing-cost optimality (not just feasibility)")
     p_map.add_argument("--seed", type=int, default=1, help="SA seed")
+    p_map.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed result cache directory (routes the job "
+             "through the mapping service)",
+    )
+    p_map.add_argument(
+        "--telemetry", default=None,
+        help="append per-phase telemetry events to this JSONL file",
+    )
     p_map.add_argument("-v", "--verbose", action="store_true")
     p_map.set_defaults(func=_cmd_map)
 
@@ -220,8 +353,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--time-limit", type=float, default=120.0)
     p_sweep.add_argument("--with-sa", action="store_true",
                          help="also run the SA baseline (Fig. 8)")
+    p_sweep.add_argument(
+        "--store", default=None,
+        help="JSONL record store; finished cells are skipped on re-run "
+             "(resumable sweeps)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None,
+        help="route cells through the mapping service with this cache",
+    )
+    p_sweep.add_argument(
+        "--telemetry", default=None,
+        help="append per-phase telemetry events to this JSONL file",
+    )
     p_sweep.add_argument("-v", "--verbose", action="store_true")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_service = sub.add_parser(
+        "service", help="inspect the mapping service (telemetry, cache)"
+    )
+    service_sub = p_service.add_subparsers(dest="service_command", required=True)
+    p_stats = service_sub.add_parser(
+        "stats", help="summarize a telemetry JSONL file"
+    )
+    p_stats.add_argument("telemetry", help="telemetry JSONL file to summarize")
+    p_stats.set_defaults(func=_cmd_service_stats)
+    p_cache = service_sub.add_parser(
+        "cache-info", help="describe a result cache directory"
+    )
+    p_cache.add_argument("cache_dir", help="cache directory to describe")
+    p_cache.set_defaults(func=_cmd_service_cache_info)
 
     p_sim = sub.add_parser(
         "simulate",

@@ -5,6 +5,7 @@ from .figures import figure8_series, render_figure8
 from .floorplan import render_floorplan
 from .records import (
     RunRecord,
+    append_record,
     fraction_within,
     load_records,
     save_records,
@@ -32,6 +33,7 @@ __all__ = [
     "PAPER_TABLE2",
     "PAPER_TOTAL_FEASIBLE",
     "RunRecord",
+    "append_record",
     "SweepConfig",
     "build_arch_mrrg",
     "compare_mappers",

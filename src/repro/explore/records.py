@@ -39,6 +39,11 @@ class RunRecord:
     def feasible(self) -> bool:
         return self.status is MapStatus.MAPPED
 
+    @property
+    def cell(self) -> tuple[str, str, str]:
+        """Sweep-grid identity: (benchmark, architecture, mapper)."""
+        return (self.benchmark, self.arch_key, self.mapper)
+
     @classmethod
     def from_result(
         cls, benchmark: str, arch_key: str, mapper: str, result: MapResult
@@ -77,6 +82,17 @@ def load_records(path: str) -> list[RunRecord]:
     """Read records from JSON lines."""
     with open(path, encoding="utf-8") as handle:
         return [RunRecord.from_json(line) for line in handle if line.strip()]
+
+
+def append_record(record: RunRecord, path: str) -> None:
+    """Append one record to a JSON-lines store, flushed immediately.
+
+    The incremental write is what makes interrupted sweeps resumable:
+    every finished cell survives a kill, and a re-run skips it.
+    """
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(record.to_json() + "\n")
+        handle.flush()
 
 
 def fraction_within(records: list[RunRecord], seconds: float) -> float:

@@ -9,6 +9,7 @@ matrix and the Fig. 8 comparison are rendered.
 from __future__ import annotations
 
 import dataclasses
+import os
 from collections.abc import Callable, Iterable, Sequence
 
 from ..arch.testsuite import PAPER_ARCHITECTURES, PaperArch, build_paper_arch
@@ -21,7 +22,7 @@ from ..mapper.sa_mapper import SAMapper, SAMapperOptions
 from ..mrrg.analysis import prune
 from ..mrrg.build import build_mrrg_from_module
 from ..mrrg.graph import MRRG
-from .records import RunRecord
+from .records import RunRecord, append_record, load_records
 
 
 @dataclasses.dataclass
@@ -85,6 +86,8 @@ def run_sweep(
     mapper_name: str = "ilp",
     mrrgs: dict[str, MRRG] | None = None,
     dfgs: dict[str, DFG] | None = None,
+    store_path: str | None = None,
+    service=None,
 ) -> list[RunRecord]:
     """Run one mapper over the benchmark x architecture grid.
 
@@ -96,10 +99,19 @@ def run_sweep(
         mrrgs: pre-built MRRGs keyed by architecture key (built on demand
             otherwise; pass them to share across ILP and SA sweeps).
         dfgs: pre-built DFGs keyed by benchmark name.
+        store_path: JSON-lines record store.  Cells whose records already
+            exist there are *not* re-solved (resumability: an interrupted
+            sweep restarts where it stopped); every newly finished cell is
+            appended immediately.
+        service: optional :class:`repro.service.MappingService`.  When
+            given, cells route through the service — result caching,
+            solver portfolio and telemetry apply per cell — instead of a
+            locally constructed mapper, and ``mrrgs`` is ignored (the
+            service memoizes MRRGs itself).
 
     Returns:
         One record per (benchmark, architecture) cell, row-major in
-        benchmark order.
+        benchmark order — including cells restored from ``store_path``.
     """
     config = config or SweepConfig()
     if mapper_factory is None:
@@ -112,18 +124,47 @@ def run_sweep(
     mrrgs = mrrgs if mrrgs is not None else {}
     dfgs = dfgs if dfgs is not None else {}
 
+    done: dict[tuple[str, str, str], RunRecord] = {}
+    if store_path is not None and os.path.exists(store_path):
+        for record in load_records(store_path):
+            done[record.cell] = record
+
     records: list[RunRecord] = []
     for arch in config.architectures:
-        if arch.key not in mrrgs:
-            mrrgs[arch.key] = build_arch_mrrg(arch, config.rows, config.cols)
-        mrrg = mrrgs[arch.key]
+        mrrg = None
+        top = None
+        if service is None:
+            if arch.key not in mrrgs:
+                mrrgs[arch.key] = build_arch_mrrg(arch, config.rows, config.cols)
+            mrrg = mrrgs[arch.key]
         for name in config.benchmarks:
+            existing = done.get((name, arch.key, mapper_name))
+            if existing is not None:
+                records.append(existing)
+                continue
             if name not in dfgs:
                 dfgs[name] = kernel(name)
-            mapper = factory(config)
-            result = mapper.map(dfgs[name], mrrg)
+            if service is not None:
+                from ..service.core import MapRequest
+
+                if top is None:
+                    top = build_paper_arch(arch, config.rows, config.cols)
+                answer = service.map_request(
+                    MapRequest(
+                        dfg=dfgs[name],
+                        arch=top,
+                        contexts=arch.contexts,
+                        label=f"{name}@{arch.key}",
+                    )
+                )
+                result = answer.result
+            else:
+                mapper = factory(config)
+                result = mapper.map(dfgs[name], mrrg)
             record = RunRecord.from_result(name, arch.key, mapper_name, result)
             records.append(record)
+            if store_path is not None:
+                append_record(record, store_path)
             if config.progress is not None:
                 config.progress(record)
     return records

@@ -226,9 +226,13 @@ def build_formulation(
                 model.add_terms([(var, 1.0)], Sense.EQ, 0.0, name="fu_legality")
                 f_vars[(fu.node_id, op.name)] = var
 
+    # Emission order note: `usable`/`usable3`/`reach` are plain sets, and
+    # variable/constraint order is part of the model identity (solver
+    # search paths and cache fingerprints depend on it) — every set-typed
+    # collection MUST be sorted before emitting variables or constraints.
     r_vars: dict[tuple[str, str], Var] = {}
     for producer, nodes in usable.items():
-        for node_id in nodes:
+        for node_id in sorted(nodes):
             r_vars[(node_id, producer)] = model.add_binary(
                 f"R[{node_id}][{producer}]"
             )
@@ -239,7 +243,7 @@ def build_formulation(
             len(sinks) == 1 and options.collapse_single_sink
         )
         for sink in sinks:
-            for node_id in usable3[(producer, sink)]:
+            for node_id in sorted(usable3[(producer, sink)]):
                 if shared:
                     r3_vars[(node_id, producer, sink)] = r_vars[(node_id, producer)]
                 else:
@@ -309,7 +313,7 @@ def build_formulation(
                 def getvar(m: str) -> Var | None:
                     return r3_vars.get((m, producer, rep))
 
-            for node_id in reach:
+            for node_id in sorted(reach):
                 if node_id in terminals:
                     continue
                 var = getvar(node_id)
@@ -387,7 +391,7 @@ def build_formulation(
 
         # (8): sink-agnostic usage covers every sink-specific route.
         for sink in sinks:
-            for node_id in usable3[(producer, sink)]:
+            for node_id in sorted(usable3[(producer, sink)]):
                 r3 = r3_vars[(node_id, producer, sink)]
                 r = r_vars[(node_id, producer)]
                 if r3 is r:
@@ -473,12 +477,27 @@ def _backward_route_reach(mrrg: MRRG, starts: set[str]) -> set[str]:
 
 
 class ILPMapper(Mapper):
-    """Maps a DFG onto an MRRG by solving the section-4 ILP."""
+    """Maps a DFG onto an MRRG by solving the section-4 ILP.
+
+    Args:
+        options: formulation and backend knobs.
+        telemetry: optional event sink — any object exposing
+            ``emit(kind, duration=None, **fields)`` (e.g. the service
+            layer's :class:`repro.service.telemetry.EventBus`).  Emits
+            ``model-build``, ``solve``, ``route`` and ``verify`` events.
+    """
 
     name = "ilp"
 
-    def __init__(self, options: ILPMapperOptions | None = None):
+    def __init__(
+        self, options: ILPMapperOptions | None = None, telemetry=None
+    ):
         self.options = options or ILPMapperOptions()
+        self.telemetry = telemetry
+
+    def _emit(self, kind: str, duration: float | None = None, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(kind, duration=duration, **fields)
 
     def map(self, dfg: DFG, mrrg: MRRG) -> MapResult:
         """Build and solve the formulation; extract and verify the mapping."""
@@ -486,6 +505,14 @@ class ILPMapper(Mapper):
         start = time.perf_counter()
         formulation = build_formulation(dfg, mrrg, opts)
         formulation_time = time.perf_counter() - start
+        self._emit(
+            "model-build",
+            duration=formulation_time,
+            dfg=dfg.name,
+            mrrg=mrrg.name,
+            infeasible_reason=formulation.infeasible_reason,
+            **formulation.stats(),
+        )
         if formulation.infeasible_reason is not None:
             return MapResult(
                 status=MapStatus.INFEASIBLE,
@@ -500,6 +527,13 @@ class ILPMapper(Mapper):
             time_limit=opts.time_limit,
             mip_rel_gap=opts.mip_rel_gap,
             use_presolve=opts.use_presolve,
+        )
+        self._emit(
+            "solve",
+            duration=solution.wall_time,
+            backend=opts.backend,
+            status=solution.status.value,
+            objective=solution.objective,
         )
         return self._to_result(dfg, mrrg, formulation, solution, formulation_time)
 
@@ -523,12 +557,25 @@ class ILPMapper(Mapper):
         mapping = None
         detail = solution.message
         if status is MapStatus.MAPPED:
+            route_start = time.perf_counter()
             mapping = extract_mapping(dfg, mrrg, formulation, solution)
+            self._emit(
+                "route",
+                duration=time.perf_counter() - route_start,
+                sub_values=len(mapping.routes),
+                routing_cost=mapping.routing_cost(),
+            )
             if self.options.verify_result:
+                verify_start = time.perf_counter()
                 issues = verify(
                     mapping,
                     strict_operands=self.options.operand_mode == "strict"
                     and self.options.split_sub_values,
+                )
+                self._emit(
+                    "verify",
+                    duration=time.perf_counter() - verify_start,
+                    issues=len(issues),
                 )
                 if issues:
                     status = MapStatus.ERROR

@@ -49,12 +49,26 @@ class SAMapperOptions:
 
 
 class SAMapper(Mapper):
-    """Simulated-annealing placer with congestion-negotiating router."""
+    """Simulated-annealing placer with congestion-negotiating router.
+
+    Args:
+        options: annealing-schedule knobs.
+        telemetry: optional event sink — any object exposing
+            ``emit(kind, duration=None, **fields)``.  Emits ``solve``,
+            ``route`` and ``verify`` events.
+    """
 
     name = "sa"
 
-    def __init__(self, options: SAMapperOptions | None = None):
+    def __init__(
+        self, options: SAMapperOptions | None = None, telemetry=None
+    ):
         self.options = options or SAMapperOptions()
+        self.telemetry = telemetry
+
+    def _emit(self, kind: str, duration: float | None = None, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(kind, duration=duration, **fields)
 
     def map(self, dfg: DFG, mrrg: MRRG) -> MapResult:
         opts = self.options
@@ -85,6 +99,12 @@ class SAMapper(Mapper):
                 break
 
         elapsed = time.perf_counter() - start
+        self._emit(
+            "solve",
+            duration=elapsed,
+            backend="sa",
+            status="annealed" if best is not None else "no_attempt",
+        )
         if best is None:
             return MapResult(
                 status=MapStatus.GAVE_UP,
@@ -93,8 +113,21 @@ class SAMapper(Mapper):
             )
         placement, routing = best
         if routing.overuse == 0 and not routing.unrouted:
+            route_start = time.perf_counter()
             mapping = mapping_from_routing(dfg, mrrg, placement, routing)
+            self._emit(
+                "route",
+                duration=time.perf_counter() - route_start,
+                sub_values=len(mapping.routes),
+                routing_cost=mapping.routing_cost(),
+            )
+            verify_start = time.perf_counter()
             issues = verify(mapping, strict_operands=opts.strict_operands)
+            self._emit(
+                "verify",
+                duration=time.perf_counter() - verify_start,
+                issues=len(issues),
+            )
             if issues:
                 return MapResult(
                     status=MapStatus.ERROR,

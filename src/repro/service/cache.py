@@ -1,0 +1,201 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/objects/<fp[:2]>.jsonl`` — append-only JSONL shards
+keyed by the first fingerprint byte, one JSON object per finished
+request.  Append-only means a crashed writer can at worst leave one
+truncated trailing line (skipped on read) and repeated stores of the
+same fingerprint are resolved last-writer-wins, without any locking —
+which suits the single-process, single-CPU deployment this repo targets.
+No SQLite, no index files: a shard scan is O(entries with the same
+leading byte), tiny next to a solver call.
+
+Entries round-trip :mod:`repro.mapper.serialize` mapping payloads, so a
+cache hit reconstructs the *same verdict and mapping* the original solve
+produced, re-validated against the live DFG/MRRG on load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from ..dfg.graph import DFG
+from ..mapper.base import MapResult, MapStatus
+from ..mapper.serialize import (
+    MappingFormatError,
+    mapping_from_json,
+    mapping_to_json,
+)
+from ..mrrg.graph import MRRG
+
+ENTRY_VERSION = 1
+
+
+class CacheError(ValueError):
+    """Raised when a cache entry cannot be reconstructed."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheEntry:
+    """One cached mapping verdict.
+
+    Attributes:
+        fingerprint: request content hash (see ``service.fingerprint``).
+        status: :class:`MapStatus` value string.
+        objective / proven_optimal / formulation_time / solve_time /
+            detail: the corresponding :class:`MapResult` fields.
+        stage: portfolio stage that produced the verdict (e.g. "sa",
+            "ilp-highs"), None when unknown.
+        mapping: parsed ``mapper.serialize`` JSON payload, None when the
+            verdict carries no mapping (e.g. a proven INFEASIBLE).
+    """
+
+    fingerprint: str
+    status: str
+    objective: float | None = None
+    proven_optimal: bool = False
+    formulation_time: float = 0.0
+    solve_time: float = 0.0
+    detail: str = ""
+    stage: str | None = None
+    mapping: dict[str, Any] | None = None
+
+    def to_json(self) -> str:
+        payload = dataclasses.asdict(self)
+        payload["version"] = ENTRY_VERSION
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "CacheEntry":
+        payload = json.loads(line)
+        if payload.pop("version", None) != ENTRY_VERSION:
+            raise CacheError("unsupported cache entry version")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise CacheError(f"malformed cache entry: {exc}") from None
+
+
+def entry_from_result(
+    fingerprint: str, result: MapResult, stage: str | None = None
+) -> CacheEntry:
+    """Freeze a finished :class:`MapResult` into a cache entry."""
+    mapping_payload = None
+    if result.mapping is not None:
+        mapping_payload = json.loads(mapping_to_json(result.mapping))
+    return CacheEntry(
+        fingerprint=fingerprint,
+        status=result.status.value,
+        objective=result.objective,
+        proven_optimal=result.proven_optimal,
+        formulation_time=result.formulation_time,
+        solve_time=result.solve_time,
+        detail=result.detail,
+        stage=stage,
+        mapping=mapping_payload,
+    )
+
+
+def result_from_entry(entry: CacheEntry, dfg: DFG, mrrg: MRRG) -> MapResult:
+    """Reconstruct the original verdict against live DFG/MRRG objects.
+
+    Raises:
+        CacheError: when the stored mapping no longer matches the DFG or
+            MRRG (e.g. the fingerprint scheme missed a semantic change) —
+            callers treat this as a cache miss, never as a crash.
+    """
+    try:
+        status = MapStatus(entry.status)
+    except ValueError:
+        raise CacheError(f"unknown cached status {entry.status!r}") from None
+    mapping = None
+    if entry.mapping is not None:
+        try:
+            mapping = mapping_from_json(json.dumps(entry.mapping), dfg, mrrg)
+        except MappingFormatError as exc:
+            raise CacheError(f"cached mapping does not load: {exc}") from None
+    return MapResult(
+        status=status,
+        mapping=mapping,
+        objective=entry.objective,
+        proven_optimal=entry.proven_optimal,
+        formulation_time=entry.formulation_time,
+        solve_time=entry.solve_time,
+        detail=entry.detail,
+    )
+
+
+class MappingCache:
+    """The on-disk store (see module docstring for the layout)."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+
+    def _shard(self, fingerprint: str) -> Path:
+        if len(fingerprint) < 2:
+            raise CacheError(f"fingerprint {fingerprint!r} too short")
+        return self.objects_dir / f"{fingerprint[:2]}.jsonl"
+
+    def get(self, fingerprint: str) -> CacheEntry | None:
+        """Latest entry for ``fingerprint``, or None."""
+        shard = self._shard(fingerprint)
+        if not shard.exists():
+            return None
+        found: CacheEntry | None = None
+        with open(shard, encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    entry = CacheEntry.from_json(line)
+                except (json.JSONDecodeError, CacheError):
+                    continue  # truncated/foreign line: ignore
+                if entry.fingerprint == fingerprint:
+                    found = entry  # last writer wins
+        return found
+
+    def put(self, entry: CacheEntry) -> None:
+        shard = self._shard(entry.fingerprint)
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write(entry.to_json() + "\n")
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.get(fingerprint) is not None
+
+    def entries(self) -> list[CacheEntry]:
+        """All readable entries across shards (latest per fingerprint)."""
+        latest: dict[str, CacheEntry] = {}
+        for shard in sorted(self.objects_dir.glob("*.jsonl")):
+            with open(shard, encoding="utf-8") as handle:
+                for line in handle:
+                    if not line.strip():
+                        continue
+                    try:
+                        entry = CacheEntry.from_json(line)
+                    except (json.JSONDecodeError, CacheError):
+                        continue
+                    latest[entry.fingerprint] = entry
+        return list(latest.values())
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def stats(self) -> dict[str, Any]:
+        """Shape of the store: entry counts by status and disk usage."""
+        entries = self.entries()
+        by_status: dict[str, int] = {}
+        for entry in entries:
+            by_status[entry.status] = by_status.get(entry.status, 0) + 1
+        disk_bytes = sum(
+            shard.stat().st_size for shard in self.objects_dir.glob("*.jsonl")
+        )
+        return {
+            "entries": len(entries),
+            "by_status": by_status,
+            "disk_bytes": disk_bytes,
+            "shards": len(list(self.objects_dir.glob("*.jsonl"))),
+        }

@@ -88,6 +88,85 @@ def test_greedy_sweep(tiny_mrrgs):
     assert records[0].status in (MapStatus.MAPPED, MapStatus.GAVE_UP)
 
 
+def test_sweep_resumes_from_store(tmp_path, tiny_mrrgs):
+    from repro.explore import load_records
+    from repro.mapper.greedy_mapper import GreedyMapper, GreedyMapperOptions
+
+    calls = []
+
+    def counting_factory(config):
+        calls.append(1)
+        return GreedyMapper(
+            GreedyMapperOptions(seed=7, restarts=6, time_limit=30)
+        )
+
+    store = str(tmp_path / "records.jsonl")
+    partial = SweepConfig(
+        benchmarks=("accum",), architectures=TINY_ARCHS[:1], rows=3, cols=3
+    )
+    run_sweep(
+        partial,
+        mapper_factory=counting_factory,
+        mapper_name="greedy",
+        mrrgs=tiny_mrrgs,
+        store_path=store,
+    )
+    assert len(calls) == 1
+    assert len(load_records(store)) == 1
+
+    # Re-running with a larger grid (as after an interrupt) must solve
+    # only the missing cell and restore the finished one from the store.
+    full = SweepConfig(
+        benchmarks=("accum", "2x2-f"),
+        architectures=TINY_ARCHS[:1],
+        rows=3,
+        cols=3,
+    )
+    records = run_sweep(
+        full,
+        mapper_factory=counting_factory,
+        mapper_name="greedy",
+        mrrgs=tiny_mrrgs,
+        store_path=store,
+    )
+    assert len(calls) == 2  # one new solve, not two
+    assert [r.benchmark for r in records] == ["accum", "2x2-f"]
+    assert len(load_records(store)) == 2
+
+    # A third run is a pure restore: no solver calls at all.
+    again = run_sweep(
+        full,
+        mapper_factory=counting_factory,
+        mapper_name="greedy",
+        mrrgs=tiny_mrrgs,
+        store_path=store,
+    )
+    assert len(calls) == 2
+    assert len(again) == 2
+
+
+def test_sweep_routes_through_service(tmp_path):
+    from repro.service import MappingService, PortfolioConfig, single_stage
+
+    service = MappingService(
+        portfolio=PortfolioConfig(stages=single_stage("ilp", time_limit=120)),
+        cache_dir=tmp_path / "cache",
+    )
+    config = SweepConfig(
+        benchmarks=("accum",), architectures=TINY_ARCHS[:1], rows=3, cols=3
+    )
+    first = run_sweep(config, mapper_name="ilp", service=service)
+    assert len(first) == 1
+    assert first[0].status is MapStatus.MAPPED
+    assert len(service.log.of_kind("stage-start")) == 1
+
+    # The same sweep again is served entirely from the result cache.
+    again = run_sweep(config, mapper_name="ilp", service=service)
+    assert again[0].status is MapStatus.MAPPED
+    assert len(service.log.of_kind("stage-start")) == 1
+    assert len(service.log.of_kind("cache-hit")) == 1
+
+
 def test_compare_mappers_runs_both(tiny_mrrgs):
     config = SweepConfig(
         benchmarks=("2x2-f",),

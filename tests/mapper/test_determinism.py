@@ -1,0 +1,71 @@
+"""Model emission must not depend on the process hash seed.
+
+Variable and constraint order feeds straight into solver behaviour
+(branching order, hence solve time and which optimum is returned), so
+``build_formulation`` must never iterate raw sets/dicts when emitting.
+The only way to actually catch a regression is to compare emissions
+across interpreter processes with different ``PYTHONHASHSEED`` values —
+inside one process the seed is fixed and any order looks stable.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+# Builds a small formulation with fan-out (exercises the R3 sub-value
+# machinery) and digests every emission-ordered surface of the model.
+SCRIPT = """
+import hashlib
+
+from repro.arch import GridSpec, build_grid
+from repro.dfg import DFGBuilder
+from repro.mapper.ilp_mapper import ILPMapperOptions, build_formulation
+from repro.mrrg import build_mrrg_from_module, prune
+
+b = DFGBuilder("fanout")
+x, y = b.input("x"), b.input("y")
+s = b.add(x, y, name="s")
+t = b.sub(s, y, name="t")
+b.output(b.add(s, t, name="u"), name="o")
+dfg = b.build()
+grid = build_grid(GridSpec(rows=2, cols=2), name="g")
+mrrg = prune(build_mrrg_from_module(grid, 1))
+
+form = build_formulation(dfg, mrrg, ILPMapperOptions())
+digest = hashlib.sha256()
+for var in form.model.variables:
+    digest.update(var.name.encode() + b"|")
+for con in form.model.constraints:
+    digest.update(con.name.encode())
+    digest.update(con.sense.value.encode())
+    digest.update(repr(con.rhs).encode())
+    for var in con.expr.variables():
+        digest.update(var.name.encode() + b",")
+    digest.update(b";")
+print(digest.hexdigest())
+"""
+
+
+def _emission_digest(hash_seed: int) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout.strip()
+
+
+def test_emission_order_survives_hash_randomization():
+    digests = {_emission_digest(seed) for seed in (0, 1, 2)}
+    assert len(digests) == 1, (
+        "ILP variable/constraint emission depends on PYTHONHASHSEED; "
+        "a raw set/dict is being iterated somewhere in build_formulation"
+    )

@@ -1,0 +1,124 @@
+"""The content-addressed result store: round-trips, robustness."""
+
+import json
+
+import pytest
+
+from repro.mapper import MapStatus
+from repro.mapper.greedy_mapper import GreedyMapper, GreedyMapperOptions
+from repro.service.cache import (
+    CacheEntry,
+    CacheError,
+    MappingCache,
+    entry_from_result,
+    result_from_entry,
+)
+
+FP_A = "aa" + "0" * 62
+FP_B = "ab" + "0" * 62  # same shard as FP_A
+FP_C = "cc" + "0" * 62
+
+
+def entry(fp=FP_A, **kw):
+    defaults = dict(status="mapped", objective=5.0, stage="greedy")
+    defaults.update(kw)
+    return CacheEntry(fingerprint=fp, **defaults)
+
+
+class TestStore:
+    def test_get_on_empty_store(self, tmp_path):
+        cache = MappingCache(tmp_path / "cache")
+        assert cache.get(FP_A) is None
+        assert FP_A not in cache
+        assert len(cache) == 0
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = MappingCache(tmp_path / "cache")
+        cache.put(entry())
+        got = cache.get(FP_A)
+        assert got is not None
+        assert got.status == "mapped" and got.objective == 5.0
+        assert got.stage == "greedy"
+        assert FP_A in cache
+
+    def test_shard_sharing_keeps_entries_separate(self, tmp_path):
+        cache = MappingCache(tmp_path / "cache")
+        cache.put(entry(FP_A, objective=1.0))
+        cache.put(entry(FP_B, objective=2.0))
+        assert cache.get(FP_A).objective == 1.0
+        assert cache.get(FP_B).objective == 2.0
+        assert len(cache) == 2
+
+    def test_last_writer_wins(self, tmp_path):
+        cache = MappingCache(tmp_path / "cache")
+        cache.put(entry(objective=1.0))
+        cache.put(entry(objective=9.0))
+        assert cache.get(FP_A).objective == 9.0
+        assert len(cache) == 1  # latest per fingerprint
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        cache = MappingCache(tmp_path / "cache")
+        cache.put(entry())
+        shard = cache.objects_dir / f"{FP_A[:2]}.jsonl"
+        with open(shard, "a", encoding="utf-8") as handle:
+            handle.write("{truncated json\n")
+            handle.write(json.dumps({"version": 99, "fingerprint": FP_A}) + "\n")
+        assert cache.get(FP_A).objective == 5.0
+        assert len(cache) == 1
+
+    def test_stats(self, tmp_path):
+        cache = MappingCache(tmp_path / "cache")
+        cache.put(entry(FP_A))
+        cache.put(entry(FP_C, status="infeasible"))
+        info = cache.stats()
+        assert info["entries"] == 2
+        assert info["by_status"] == {"mapped": 1, "infeasible": 1}
+        assert info["disk_bytes"] > 0
+
+
+class TestResultRoundTrip:
+    @pytest.fixture()
+    def mapped_result(self, tiny_dfg, mrrg_2x2_ii1):
+        result = GreedyMapper(GreedyMapperOptions(seed=3, restarts=4)).map(
+            tiny_dfg, mrrg_2x2_ii1
+        )
+        assert result.status is MapStatus.MAPPED
+        return result
+
+    def test_mapping_round_trips(self, tmp_path, tiny_dfg, mrrg_2x2_ii1,
+                                 mapped_result):
+        cache = MappingCache(tmp_path / "cache")
+        cache.put(entry_from_result(FP_A, mapped_result, stage="greedy"))
+        restored = result_from_entry(
+            cache.get(FP_A), tiny_dfg, mrrg_2x2_ii1
+        )
+        assert restored.status is MapStatus.MAPPED
+        assert restored.objective == mapped_result.objective
+        assert restored.mapping.placement == mapped_result.mapping.placement
+        assert restored.mapping.routes == mapped_result.mapping.routes
+
+    def test_infeasible_round_trips_without_mapping(self, tiny_dfg,
+                                                    mrrg_2x2_ii1):
+        from repro.mapper.base import MapResult
+
+        original = MapResult(
+            status=MapStatus.INFEASIBLE, proven_optimal=True, detail="proof"
+        )
+        restored = result_from_entry(
+            entry_from_result(FP_A, original), tiny_dfg, mrrg_2x2_ii1
+        )
+        assert restored.status is MapStatus.INFEASIBLE
+        assert restored.proven_optimal
+        assert restored.mapping is None
+
+    def test_mismatched_dfg_raises_cache_error(self, tiny_dfg, fanout_dfg,
+                                               mrrg_2x2_ii1, mapped_result):
+        stored = entry_from_result(FP_A, mapped_result)
+        with pytest.raises(CacheError):
+            result_from_entry(stored, fanout_dfg, mrrg_2x2_ii1)
+
+    def test_unknown_status_raises_cache_error(self, tiny_dfg, mrrg_2x2_ii1):
+        with pytest.raises(CacheError):
+            result_from_entry(
+                entry(status="exploded"), tiny_dfg, mrrg_2x2_ii1
+            )

@@ -1,0 +1,167 @@
+"""Fingerprint canonicalization: insertion-order invariance and
+semantic-change sensitivity (the cache's correctness contract)."""
+
+from repro.arch import paper_architecture
+from repro.arch.module import Module
+from repro.dfg import DFGBuilder
+from repro.service.fingerprint import (
+    canonical_dfg,
+    canonical_module,
+    fingerprint_document,
+    fingerprint_request,
+)
+
+
+def _dfg(order: str = "forward", opcode: str = "add", operand_swap: bool = False):
+    """x+y consumed by two ops, built with controllable insertion order."""
+    b = DFGBuilder("probe")
+    if order == "forward":
+        x, y = b.input("x"), b.input("y")
+    else:
+        y, x = b.input("y"), b.input("x")
+    s = b.op(opcode, x, y, name="s")
+    if operand_swap:
+        t = b.add(y, s, name="t")
+    else:
+        t = b.add(s, y, name="t")
+    b.output(t, name="o")
+    return b.build()
+
+
+class TestDFGCanonicalization:
+    def test_insertion_order_invariant(self):
+        assert canonical_dfg(_dfg("forward")) == canonical_dfg(_dfg("reverse"))
+        assert fingerprint_document(
+            canonical_dfg(_dfg("forward"))
+        ) == fingerprint_document(canonical_dfg(_dfg("reverse")))
+
+    def test_opcode_change_alters_hash(self):
+        assert canonical_dfg(_dfg(opcode="add")) != canonical_dfg(
+            _dfg(opcode="sub")
+        )
+
+    def test_edge_change_alters_hash(self):
+        assert canonical_dfg(_dfg(operand_swap=False)) != canonical_dfg(
+            _dfg(operand_swap=True)
+        )
+
+    def test_back_edge_flag_alters_hash(self):
+        def loop(back: bool):
+            b = DFGBuilder("rec")
+            x = b.input("x")
+            if back:
+                ph = b.defer()
+                acc = b.add(x, ph, name="acc")
+                b.bind_back(ph, acc)
+            else:
+                acc = b.add(x, x, name="acc")
+            b.output(acc, name="o")
+            return b.build()
+
+        assert canonical_dfg(loop(True)) != canonical_dfg(loop(False))
+
+    def test_rename_alters_hash(self):
+        b = DFGBuilder("probe")
+        x, y = b.input("x"), b.input("y")
+        b.output(b.add(x, y, name="sum"), name="o")
+        renamed = b.build()
+        assert canonical_dfg(_dfg()) != canonical_dfg(renamed)
+
+
+def _module(order: str = "forward"):
+    """One FU behind a 2-input mux, with controllable insertion order."""
+    m = Module("cell")
+    if order == "forward":
+        m.add_input("a")
+        m.add_input("b")
+        m.add_output("o")
+        m.add_fu("fu", ["add", "sub"])
+        m.add_mux("sel", 2)
+        m.connect("this.a", "sel.in0")
+        m.connect("this.b", "sel.in1")
+        m.connect("sel.out", "fu.in0")
+        m.connect("this.a", "fu.in1")
+        m.connect("fu.out", "this.o")
+    else:
+        m.add_mux("sel", 2)
+        m.add_fu("fu", ["sub", "add"])
+        m.add_output("o")
+        m.add_input("b")
+        m.add_input("a")
+        m.connect("fu.out", "this.o")
+        m.connect("this.a", "fu.in1")
+        m.connect("sel.out", "fu.in0")
+        m.connect("this.b", "sel.in1")
+        m.connect("this.a", "sel.in0")
+    return m
+
+
+class TestModuleCanonicalization:
+    def test_insertion_order_invariant(self):
+        assert canonical_module(_module("forward")) == canonical_module(
+            _module("reverse")
+        )
+
+    def test_connection_change_alters_hash(self):
+        changed = _module()
+        changed.connect("sel.out", "this.o")  # extra wiring
+        assert canonical_module(_module()) != canonical_module(changed)
+
+    def test_fu_ops_change_alters_hash(self):
+        m = Module("cell")
+        m.add_input("a")
+        m.add_output("o")
+        m.add_fu("fu", ["add"])
+        m.connect("this.a", "fu.in0")
+        m.connect("this.a", "fu.in1")
+        m.connect("fu.out", "this.o")
+        n = Module("cell")
+        n.add_input("a")
+        n.add_output("o")
+        n.add_fu("fu", ["add", "mul"])
+        n.connect("this.a", "fu.in0")
+        n.connect("this.a", "fu.in1")
+        n.connect("fu.out", "this.o")
+        assert canonical_module(m) != canonical_module(n)
+
+    def test_grid_size_alters_hash(self):
+        small = paper_architecture("homogeneous", "orthogonal", rows=2, cols=2)
+        large = paper_architecture("homogeneous", "orthogonal", rows=2, cols=3)
+        assert canonical_module(small) != canonical_module(large)
+
+    def test_interconnect_alters_hash(self):
+        orth = paper_architecture("homogeneous", "orthogonal", rows=2, cols=2)
+        diag = paper_architecture("homogeneous", "diagonal", rows=2, cols=2)
+        assert canonical_module(orth) != canonical_module(diag)
+
+
+class TestRequestFingerprint:
+    def test_context_count_alters_hash(self):
+        arch = paper_architecture("homogeneous", "orthogonal", rows=2, cols=2)
+        dfg = _dfg()
+        assert fingerprint_request(arch, dfg, 1) != fingerprint_request(
+            arch, dfg, 2
+        )
+
+    def test_config_alters_hash(self):
+        arch = paper_architecture("homogeneous", "orthogonal", rows=2, cols=2)
+        dfg = _dfg()
+        a = fingerprint_request(arch, dfg, 1, {"time_limit": 10})
+        b = fingerprint_request(arch, dfg, 1, {"time_limit": 20})
+        assert a != b
+
+    def test_stable_across_rebuilds(self):
+        a = fingerprint_request(
+            paper_architecture("homogeneous", "orthogonal", rows=2, cols=2),
+            _dfg("forward"),
+            1,
+            {"k": [1, 2]},
+        )
+        b = fingerprint_request(
+            paper_architecture("homogeneous", "orthogonal", rows=2, cols=2),
+            _dfg("reverse"),
+            1,
+            {"k": [1, 2]},
+        )
+        assert a == b
+        assert len(a) == 64  # full sha256 hex

@@ -1,0 +1,104 @@
+"""Event bus, JSONL persistence and the stats report."""
+
+import time
+
+from repro.service.telemetry import (
+    EventBus,
+    EventLog,
+    JsonlWriter,
+    TelemetryEvent,
+    read_events,
+    summarize_events,
+)
+
+
+class TestEventBus:
+    def test_emit_fans_out_to_all_sinks(self):
+        bus = EventBus()
+        a, b = EventLog(), EventLog()
+        bus.subscribe(a)
+        bus.subscribe(b)
+        bus.emit("solve", duration=1.5, backend="highs")
+        assert a.kinds() == ["solve"] and b.kinds() == ["solve"]
+        assert a.events[0].duration == 1.5
+        assert a.events[0].fields == {"backend": "highs"}
+
+    def test_timed_records_duration_and_extra_fields(self):
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log)
+        with bus.timed("mrrg-build", arch="grid") as extra:
+            time.sleep(0.01)
+            extra["nodes"] = 42
+        (event,) = log.events
+        assert event.kind == "mrrg-build"
+        assert event.duration >= 0.01
+        assert event.fields == {"arch": "grid", "nodes": 42}
+
+    def test_timed_emits_even_on_exception(self):
+        bus = EventBus()
+        log = EventLog()
+        bus.subscribe(log)
+        try:
+            with bus.timed("solve"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert log.kinds() == ["solve"]
+
+
+class TestJsonlRoundTrip:
+    def test_event_json_round_trip(self):
+        event = TelemetryEvent(
+            kind="solve", timestamp=12.5, duration=0.25, fields={"n": 3}
+        )
+        again = TelemetryEvent.from_json(event.to_json())
+        assert again == event
+
+    def test_none_duration_omitted(self):
+        event = TelemetryEvent(kind="cache-hit", timestamp=1.0)
+        assert "duration" not in event.to_json()
+        assert TelemetryEvent.from_json(event.to_json()).duration is None
+
+    def test_writer_appends_and_reader_loads(self, tmp_path):
+        path = tmp_path / "t" / "events.jsonl"
+        writer = JsonlWriter(path)
+        bus = EventBus()
+        bus.subscribe(writer)
+        bus.emit("request", label="x")
+        bus.emit("solve", duration=0.1, status="optimal")
+        writer.close()
+        # A second writer appends rather than truncating.
+        writer2 = JsonlWriter(path)
+        writer2(TelemetryEvent(kind="result", timestamp=2.0))
+        writer2.close()
+        events = read_events(path)
+        assert [e.kind for e in events] == ["request", "solve", "result"]
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert "no telemetry" in summarize_events([])
+
+    def test_report_sections(self):
+        events = [
+            TelemetryEvent("cache-hit", 1.0),
+            TelemetryEvent("cache-miss", 1.0),
+            TelemetryEvent("cache-miss", 1.0),
+            TelemetryEvent("solve", 1.0, duration=2.0, fields={"backend": "highs"}),
+            TelemetryEvent(
+                "stage-end", 1.0, duration=2.0,
+                fields={"stage": "ilp-highs", "status": "mapped"},
+            ),
+            TelemetryEvent(
+                "model-build", 1.0, duration=0.1,
+                fields={"f_vars": 4, "r_vars": 10, "r3_vars_distinct": 0,
+                        "constraints": 20},
+            ),
+        ]
+        report = summarize_events(events)
+        assert "1 hits / 2 misses" in report
+        assert "33.3% hit rate" in report
+        assert "ilp-highs" in report and "mapped" in report
+        assert "solve" in report
+        assert "models: 1 built" in report

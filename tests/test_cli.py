@@ -25,6 +25,25 @@ class TestParser:
         assert args.contexts == 1
         assert args.with_sa
 
+    def test_map_service_flags(self):
+        args = build_parser().parse_args(
+            ["map", "accum", "--mapper", "portfolio",
+             "--cache-dir", "/tmp/c", "--telemetry", "/tmp/t.jsonl"]
+        )
+        assert args.mapper == "portfolio"
+        assert args.cache_dir == "/tmp/c"
+        assert args.telemetry == "/tmp/t.jsonl"
+
+    def test_sweep_store_flag(self):
+        args = build_parser().parse_args(["sweep", "--store", "runs.jsonl"])
+        assert args.store == "runs.jsonl"
+
+    def test_service_subcommands_parse(self):
+        stats = build_parser().parse_args(["service", "stats", "t.jsonl"])
+        assert stats.telemetry == "t.jsonl"
+        cache = build_parser().parse_args(["service", "cache-info", "c"])
+        assert cache.cache_dir == "c"
+
 
 class TestCommands:
     def test_bench_info(self, capsys):
@@ -65,6 +84,31 @@ class TestCommands:
              "--time-limit", "60"]
         )
         assert code == 0
+
+    def test_map_served_from_cache_on_second_run(self, tmp_path, capsys):
+        argv = [
+            "map", "2x2-f", "--rows", "3", "--cols", "3",
+            "--time-limit", "120",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--telemetry", str(tmp_path / "events.jsonl"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "served: solved" in first
+        assert "fingerprint:" in first
+
+        # The identical invocation is answered from the cache.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "served: cache" in second
+
+        assert main(["service", "stats", str(tmp_path / "events.jsonl")]) == 0
+        report = capsys.readouterr().out
+        assert "cache: 1 hits / 1 misses" in report
+
+        assert main(["service", "cache-info", str(tmp_path / "cache")]) == 0
+        info = capsys.readouterr().out
+        assert "entries: 1" in info
 
     def test_sweep_command(self, capsys):
         code = main(
