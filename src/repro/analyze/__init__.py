@@ -1,0 +1,50 @@
+"""Static analysis for the reproduction: model audit + project lint.
+
+Two analysis surfaces, one subsystem:
+
+* :mod:`repro.analyze.model_audit` — structural audit of a *built*
+  :class:`repro.ilp.model.Model` (dead variables, tautological/duplicate
+  rows, conditioning, fast infeasibility witnesses, IIS-lite) plus a
+  pre-formulation capacity screen over a (DFG, MRRG) instance;
+* :mod:`repro.analyze.lint` — project-specific AST lint rules over the
+  ``repro`` source tree (nondeterministic set iteration in emission
+  code, float equality in solver code, swallowed exceptions,
+  nondeterminism in fingerprinted paths).
+
+``RULESET_VERSION`` identifies the analysis rule set; it participates in
+request fingerprints (:mod:`repro.service.fingerprint`) so that cached
+verdicts produced under an older rule set — in particular cached
+structural-infeasibility verdicts — are invalidated when rules change.
+"""
+
+from __future__ import annotations
+
+#: Bump whenever an audit/lint rule changes behaviour in a way that can
+#: alter a mapping verdict (e.g. the structural screen learns a new
+#: witness).  Cached results are keyed on this.
+RULESET_VERSION = 1
+
+from .lint import LintFinding, lint_file, lint_paths  # noqa: E402,F401
+from .model_audit import (  # noqa: E402,F401
+    AuditFinding,
+    AuditReport,
+    IISResult,
+    audit_model,
+    first_witness,
+    iis_lite,
+    screen_instance,
+)
+
+__all__ = [
+    "RULESET_VERSION",
+    "AuditFinding",
+    "AuditReport",
+    "IISResult",
+    "LintFinding",
+    "audit_model",
+    "first_witness",
+    "iis_lite",
+    "lint_file",
+    "lint_paths",
+    "screen_instance",
+]

@@ -1,0 +1,537 @@
+"""Formulation auditor: structural analysis of ILP models before solving.
+
+The paper's Table 2 verdicts are only as trustworthy as the formulation
+handed to the solver, and modeling bugs are silent: a dead variable or a
+tautological row does not crash anything, it just changes what "optimal"
+or "infeasible" means.  This module inspects a built
+:class:`repro.ilp.model.Model` *without solving it* and reports:
+
+* **M001 dead-variable** — a variable appearing in no constraint and no
+  objective term (typically a pruning bug: the variable was emitted but
+  never wired into the formulation);
+* **M002 empty-row** — a constraint with no nonzero terms (a satisfied
+  one is dead weight; an unsatisfiable one is reported as M006);
+* **M003 tautological-row** — a row whose activity range under the
+  variable bounds always satisfies it (it can never bind);
+* **M004 duplicate-row** — two rows with identical terms, sense and rhs;
+* **M005 contradictory-bounds** — a variable whose domain is empty
+  (``lb > ub``, or an integer variable whose interval contains no
+  integer);
+* **M006 infeasible-row** — a row whose activity range can never satisfy
+  it: a one-constraint infeasibility proof;
+* **M007 conditioning** — coefficient magnitude spread beyond a
+  threshold (numerical-trouble smell, not a bug per se).
+
+Findings with ``fatal=True`` (M005/M006 and the S-rules below) are
+*infeasibility witnesses*: the instance provably has no solution and the
+solver budget can be saved entirely.
+
+The **instance screen** (:func:`screen_instance`) runs even earlier, on a
+(DFG, MRRG) pair before any model is built, using pigeonhole capacity
+arguments (cf. the pre-search structural checks SAT-MapIt uses to skip
+unwinnable solver calls):
+
+* **S001 op-capacity** — more operations than FuncUnit slots;
+* **S002 opcode-capacity** — more operations of one class than
+  functional units able to host that class (e.g. multiply count exceeds
+  multiplier-capable units);
+* **S003 value-capacity** — more routed values than routing resources.
+
+Finally, :func:`iis_lite` is a deletion-filter that narrows a proven
+infeasible model to a small conflicting constraint subset, reported by
+the constraint-family names used in
+:func:`repro.mapper.ilp_mapper.build_formulation` (``placement``,
+``fanout``, ``mux_excl``...), so an unexpected INFEASIBLE can be traced
+to the constraint families that actually clash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Callable, Sequence
+
+from ..dfg.graph import DFG
+from ..ilp.expr import Sense, VarType
+from ..ilp.model import Model
+from ..mrrg.graph import MRRG
+
+#: Human-readable one-liners per rule (rendered by reports and docs).
+RULES = {
+    "M001": "dead variable: appears in no constraint or objective",
+    "M002": "empty constraint row (no nonzero terms)",
+    "M003": "tautological row: can never bind under the variable bounds",
+    "M004": "duplicate constraint row",
+    "M005": "contradictory variable bounds (empty domain)",
+    "M006": "structurally infeasible row (activity range excludes rhs)",
+    "M007": "coefficient conditioning: magnitude spread beyond threshold",
+    "S001": "operation count exceeds FuncUnit slot count",
+    "S002": "operation-class count exceeds capable FuncUnit count",
+    "S003": "routed value count exceeds routing resource count",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditFinding:
+    """One audit observation.
+
+    Attributes:
+        rule: rule identifier (see :data:`RULES`).
+        severity: "error" (a modeling bug), "warning" (suspicious but
+            possibly intended) or "info".
+        subject: the variable/constraint/opcode the finding is about.
+        message: human-readable explanation.
+        fatal: True when the finding proves the instance infeasible.
+    """
+
+    rule: str
+    severity: str
+    subject: str
+    message: str
+    fatal: bool = False
+
+    def format(self) -> str:
+        flag = " [infeasible]" if self.fatal else ""
+        return f"{self.rule} {self.severity}{flag}: {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class CoefficientStats:
+    """Magnitude statistics over all nonzero constraint coefficients."""
+
+    num_nonzeros: int
+    min_abs: float
+    max_abs: float
+
+    @property
+    def ratio(self) -> float:
+        if self.num_nonzeros == 0 or self.min_abs == 0.0:
+            return 1.0
+        return self.max_abs / self.min_abs
+
+
+@dataclasses.dataclass
+class AuditReport:
+    """Outcome of :func:`audit_model`.
+
+    Attributes:
+        model_name: name of the audited model.
+        num_vars / num_constraints: model size at audit time.
+        findings: every observation, in deterministic emission order.
+        coefficients: magnitude stats (None for an empty model).
+    """
+
+    model_name: str
+    num_vars: int
+    num_constraints: int
+    findings: list[AuditFinding]
+    coefficients: CoefficientStats | None = None
+
+    @property
+    def fatal(self) -> AuditFinding | None:
+        """The first infeasibility witness, if any."""
+        for finding in self.findings:
+            if finding.fatal:
+                return finding
+        return None
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity findings exist."""
+        return not any(f.severity == "error" for f in self.findings)
+
+    def rules(self) -> list[str]:
+        """Sorted distinct rule ids present in the findings."""
+        return sorted({f.rule for f in self.findings})
+
+    def by_rule(self, rule: str) -> list[AuditFinding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"audit of {self.model_name!r}: {self.num_vars} vars, "
+            f"{self.num_constraints} constraints"
+        ]
+        if self.coefficients is not None and self.coefficients.num_nonzeros:
+            c = self.coefficients
+            lines.append(
+                f"  coefficients: {c.num_nonzeros} nonzeros, "
+                f"|a| in [{c.min_abs:g}, {c.max_abs:g}] "
+                f"(ratio {c.ratio:g})"
+            )
+        if not self.findings:
+            lines.append("  clean: no findings")
+        for finding in self.findings:
+            lines.append(f"  {finding.format()}")
+        return "\n".join(lines)
+
+
+def _activity_range(
+    terms: dict[int, float], lb: dict[int, float], ub: dict[int, float]
+) -> tuple[float, float]:
+    """Min/max of ``sum(c*x)`` over the variable boxes (inf-aware)."""
+    lo = hi = 0.0
+    for idx, coeff in terms.items():
+        if coeff == 0.0:
+            continue
+        a, b = (lb[idx], ub[idx]) if coeff > 0 else (ub[idx], lb[idx])
+        lo += coeff * a
+        hi += coeff * b
+    return lo, hi
+
+
+def audit_model(
+    model: Model,
+    conditioning_threshold: float = 1e8,
+    tol: float = 1e-9,
+) -> AuditReport:
+    """Audit a built model; see the module docstring for the rules."""
+    variables = model.variables
+    constraints = model.constraints
+    findings: list[AuditFinding] = []
+
+    lb = {v.index: v.lb for v in variables}
+    ub = {v.index: v.ub for v in variables}
+
+    # M005: empty variable domains.
+    for var in variables:
+        if var.lb > var.ub:
+            findings.append(AuditFinding(
+                "M005", "error", var.name,
+                f"variable {var.name!r} has lb {var.lb:g} > ub {var.ub:g}",
+                fatal=True,
+            ))
+        elif (
+            var.vtype is not VarType.CONTINUOUS
+            and math.isfinite(var.lb)
+            and math.isfinite(var.ub)
+            and math.ceil(var.lb - tol) > math.floor(var.ub + tol)
+        ):
+            findings.append(AuditFinding(
+                "M005", "error", var.name,
+                f"integer variable {var.name!r} has no integer in "
+                f"[{var.lb:g}, {var.ub:g}]",
+                fatal=True,
+            ))
+
+    # M001: dead variables.
+    used: set[int] = set()
+    for constraint in constraints:
+        for idx, coeff in constraint.expr.terms.items():
+            if coeff != 0.0:
+                used.add(idx)
+    for idx, coeff in model.objective.terms.items():
+        if coeff != 0.0:
+            used.add(idx)
+    for var in variables:
+        if var.index not in used:
+            findings.append(AuditFinding(
+                "M001", "warning", var.name,
+                f"variable {var.name!r} appears in no constraint or "
+                "objective term",
+            ))
+
+    # Row rules: M002 empty, M003 tautological, M006 infeasible, M004 dup.
+    seen_rows: dict[tuple, str] = {}
+    min_abs, max_abs, nnz = math.inf, 0.0, 0
+    for i, constraint in enumerate(constraints):
+        label = constraint.name or f"#{i}"
+        live = {
+            idx: coeff
+            for idx, coeff in constraint.expr.terms.items()
+            if coeff != 0.0
+        }
+        for coeff in live.values():
+            magnitude = abs(coeff)
+            min_abs = min(min_abs, magnitude)
+            max_abs = max(max_abs, magnitude)
+            nnz += 1
+
+        sense, rhs = constraint.sense, constraint.rhs
+        if not live:
+            satisfied = (
+                (sense is Sense.LE and 0.0 <= rhs + tol)
+                or (sense is Sense.GE and 0.0 >= rhs - tol)
+                or (sense is Sense.EQ and abs(rhs) <= tol)
+            )
+            if satisfied:
+                findings.append(AuditFinding(
+                    "M002", "warning", label,
+                    f"constraint {label} has no nonzero terms "
+                    "(always satisfied: dead row)",
+                ))
+            else:
+                findings.append(AuditFinding(
+                    "M006", "error", label,
+                    f"constraint {label} has no nonzero terms and "
+                    f"constant lhs 0 cannot satisfy {sense.value} {rhs:g}",
+                    fatal=True,
+                ))
+            continue
+
+        lo, hi = _activity_range(live, lb, ub)
+        infeasible = (
+            (sense is Sense.LE and lo > rhs + tol)
+            or (sense is Sense.GE and hi < rhs - tol)
+            or (sense is Sense.EQ and (rhs < lo - tol or rhs > hi + tol))
+        )
+        tautological = (
+            (sense is Sense.LE and hi <= rhs + tol)
+            or (sense is Sense.GE and lo >= rhs - tol)
+            or (sense is Sense.EQ and abs(hi - lo) <= tol
+                and abs(lo - rhs) <= tol)
+        )
+        if infeasible:
+            findings.append(AuditFinding(
+                "M006", "error", label,
+                f"constraint {label} is unsatisfiable: activity range "
+                f"[{lo:g}, {hi:g}] excludes {sense.value} {rhs:g}",
+                fatal=True,
+            ))
+        elif tautological:
+            findings.append(AuditFinding(
+                "M003", "warning", label,
+                f"constraint {label} can never bind: activity range "
+                f"[{lo:g}, {hi:g}] always satisfies {sense.value} {rhs:g}",
+            ))
+
+        key = (sense, rhs, tuple(sorted(live.items())))
+        if key in seen_rows:
+            findings.append(AuditFinding(
+                "M004", "warning", label,
+                f"constraint {label} duplicates {seen_rows[key]}",
+            ))
+        else:
+            seen_rows[key] = label
+
+    coefficients = None
+    if nnz:
+        coefficients = CoefficientStats(nnz, min_abs, max_abs)
+        if coefficients.ratio > conditioning_threshold:
+            findings.append(AuditFinding(
+                "M007", "warning", model.name,
+                f"coefficient magnitudes span [{min_abs:g}, {max_abs:g}] "
+                f"(ratio {coefficients.ratio:.3g} > "
+                f"{conditioning_threshold:g})",
+            ))
+
+    return AuditReport(
+        model_name=model.name,
+        num_vars=len(variables),
+        num_constraints=len(constraints),
+        findings=findings,
+        coefficients=coefficients,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pre-formulation instance screen
+# ----------------------------------------------------------------------
+def screen_instance(dfg: DFG, mrrg: MRRG) -> list[AuditFinding]:
+    """Pigeonhole capacity screen over a (DFG, MRRG) instance.
+
+    Every returned finding is ``fatal`` — a proof that no mapping exists —
+    computable in O(ops + nodes) without building the ILP.  An empty list
+    means the screen found nothing (it says *nothing* about feasibility).
+    """
+    findings: list[AuditFinding] = []
+    function_nodes = mrrg.function_nodes()
+
+    # S001: each op needs its own FuncUnit slot (constraints (1)+(2)).
+    num_ops = len(dfg.ops)
+    if num_ops > len(function_nodes):
+        findings.append(AuditFinding(
+            "S001", "error", dfg.name,
+            f"{num_ops} operations cannot fit {len(function_nodes)} "
+            f"FuncUnit slots (II={mrrg.ii})",
+            fatal=True,
+        ))
+
+    # S002: per operation class, capable units must cover the class.  An
+    # op class here is (opcode, needs_output): ops of the same class
+    # compete for exactly the same units (legality is per-opcode and a
+    # producer additionally needs an output port).
+    produces = {v.producer for v in dfg.values()}
+    demand: dict[tuple[str, bool], int] = {}
+    for op in dfg.ops:
+        key = (op.opcode.value, op.name in produces)
+        demand[key] = demand.get(key, 0) + 1
+    for (opcode_name, needs_output), count in sorted(demand.items()):
+        capable = 0
+        for fu in function_nodes:
+            if not any(op.value == opcode_name for op in (fu.ops or ())):
+                continue
+            if needs_output and fu.output is None:
+                continue
+            capable += 1
+        if count > capable:
+            what = f"{opcode_name} (value-producing)" if needs_output else opcode_name
+            findings.append(AuditFinding(
+                "S002", "error", opcode_name,
+                f"{count} {what} operations but only {capable} capable "
+                f"FuncUnit slots",
+                fatal=True,
+            ))
+
+    # S003: distinct values occupy distinct route nodes (constraint (4));
+    # every routed value claims at least its producer's output node (7).
+    num_values = len(dfg.values())
+    num_route = len(mrrg.route_nodes())
+    if num_values > num_route:
+        findings.append(AuditFinding(
+            "S003", "error", dfg.name,
+            f"{num_values} routed values exceed {num_route} routing "
+            "resources",
+            fatal=True,
+        ))
+    return findings
+
+
+def first_witness(dfg: DFG, mrrg: MRRG) -> AuditFinding | None:
+    """First structural-infeasibility witness from the screen, or None."""
+    findings = screen_instance(dfg, mrrg)
+    return findings[0] if findings else None
+
+
+# ----------------------------------------------------------------------
+# IIS-lite deletion filter
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class IISResult:
+    """A small conflicting constraint subset of an infeasible model.
+
+    Attributes:
+        constraints: names of the retained (still jointly infeasible)
+            constraints, in model order.
+        families: distinct constraint-family tags of ``constraints``
+            (the prefix before ``[`` in the names ``build_formulation``
+            assigns: ``placement``, ``fu_excl``, ``fanout``...).
+        solves: feasibility-oracle calls spent.
+        minimal: True when the per-constraint filter completed, i.e. the
+            subset is irreducible w.r.t. single deletions.
+    """
+
+    constraints: list[str]
+    families: list[str]
+    solves: int
+    minimal: bool
+
+
+def constraint_family(name: str, index: int) -> str:
+    """Family tag of a constraint name (``fanout[n3][s]`` -> ``fanout``)."""
+    return name.split("[", 1)[0] if name else f"row{index}"
+
+
+def _submodel(model: Model, keep: Sequence[int]) -> Model:
+    """Feasibility-only copy of ``model`` restricted to ``keep`` rows."""
+    sub = Model(f"{model.name}.iis")
+    clones = [
+        sub.add_var(v.name, v.lb, v.ub, v.vtype) for v in model.variables
+    ]
+    for i in keep:
+        constraint = model.constraints[i]
+        sub.add_terms(
+            [
+                (clones[idx], coeff)
+                for idx, coeff in sorted(constraint.expr.terms.items())
+            ],
+            constraint.sense,
+            constraint.rhs,
+            constraint.name,
+        )
+    sub.minimize(0.0)
+    return sub
+
+
+def _default_oracle(model: Model) -> bool:
+    """True when ``model`` is proven infeasible (presolve, then HiGHS)."""
+    from ..ilp.solve import solve
+    from ..ilp.status import SolveStatus
+
+    solution = solve(model, backend="highs", mip_rel_gap=1.0, use_presolve=True)
+    return solution.status is SolveStatus.INFEASIBLE
+
+
+def iis_lite(
+    model: Model,
+    is_infeasible: Callable[[Model], bool] | None = None,
+    max_solves: int = 64,
+    refine_limit: int = 40,
+) -> IISResult | None:
+    """Deletion-filter an infeasible model down to a conflicting core.
+
+    First drops whole constraint *families* (named groups from the
+    formulation), then—if the survivor set is small—individual rows.
+    Each step keeps a deletion only if the remainder is still infeasible,
+    so the returned subset is always jointly infeasible.
+
+    Args:
+        model: the model to narrow.
+        is_infeasible: feasibility oracle; defaults to presolve + HiGHS
+            in feasibility mode.  Must return True iff proven infeasible.
+        max_solves: oracle-call budget (the filter degrades to a coarser
+            answer when exhausted, it never exceeds the budget).
+        refine_limit: skip the per-constraint pass when more rows than
+            this survive family filtering (keeps worst-case cost tame).
+
+    Returns:
+        The narrowed subset, or None when the model is not infeasible to
+        begin with (nothing to explain).
+    """
+    oracle = is_infeasible or _default_oracle
+    solves = 0
+
+    def check(keep: list[int]) -> bool:
+        nonlocal solves
+        solves += 1
+        return oracle(_submodel(model, keep))
+
+    current = list(range(len(model.constraints)))
+    if not check(current):
+        return None
+
+    # Family-level pass, in first-appearance order.
+    families: list[str] = []
+    rows_of: dict[str, list[int]] = {}
+    for i, constraint in enumerate(model.constraints):
+        family = constraint_family(constraint.name, i)
+        if family not in rows_of:
+            rows_of[family] = []
+            families.append(family)
+        rows_of[family].append(i)
+
+    for family in families:
+        if solves >= max_solves:
+            break
+        drop = set(rows_of[family])
+        trial = [i for i in current if i not in drop]
+        if trial and check(trial):
+            current = trial
+
+    # Per-constraint refinement.
+    minimal = False
+    if len(current) <= refine_limit:
+        minimal = True
+        for i in list(current):
+            if i not in current:
+                continue
+            if solves >= max_solves:
+                minimal = False
+                break
+            trial = [j for j in current if j != i]
+            if trial and check(trial):
+                current = trial
+
+    names = [
+        model.constraints[i].name or f"#{i}" for i in current
+    ]
+    kept_families = sorted({
+        constraint_family(model.constraints[i].name, i) for i in current
+    })
+    return IISResult(
+        constraints=names,
+        families=kept_families,
+        solves=solves,
+        minimal=minimal,
+    )

@@ -7,6 +7,11 @@ Subcommands:
   the Fig. 8 comparison) and render the tables;
 * ``simulate`` — map a benchmark, extract the fabric configuration,
   execute it cycle by cycle and check against the reference interpreter;
+* ``analyze lint`` — run the project-specific static lint (determinism,
+  float equality, swallowed exceptions) over the source tree;
+* ``analyze model`` — audit the ILP formulation of a (benchmark, arch,
+  II) instance before solving: capacity screen, dead variables,
+  duplicate/tautological rows, optional IIS-lite conflict narrowing;
 * ``bench-info`` — print Table 1 (benchmark characteristics);
 * ``arch-info`` — print MRRG statistics for an architecture;
 * ``export-arch`` — emit the ADL XML of a test architecture;
@@ -23,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .arch.adl import Architecture, serialize_architecture
 from .arch.testsuite import PAPER_ARCHITECTURES, paper_architecture
@@ -296,6 +302,71 @@ def _cmd_simulate(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_analyze_lint(args) -> int:
+    from .analyze import lint_paths
+    from .analyze.lint import RULE_IDS
+
+    rules = (
+        {item.strip() for item in args.rules.split(",") if item.strip()}
+        if args.rules else None
+    )
+    if rules:
+        unknown = sorted(rules - set(RULE_IDS))
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)} "
+                  f"(known: {', '.join(RULE_IDS)})")
+            return 2
+    missing = [p for p in (args.paths or []) if not Path(p).exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}")
+        return 2
+    findings = lint_paths(args.paths or None, rules=rules)
+    for finding in findings:
+        print(finding.format())
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    print(f"{len(findings)} finding(s): {errors} error(s), {warnings} warning(s)")
+    failed = errors > 0 or (args.strict and warnings > 0)
+    return 1 if failed else 0
+
+
+def _cmd_analyze_model(args) -> int:
+    from .analyze import audit_model, first_witness, iis_lite
+    from .mapper.ilp_mapper import build_formulation
+
+    dfg = kernel(args.benchmark)
+    mrrg = _build_mrrg(args)
+    print(f"instance: {args.benchmark} on {args.style}/{args.interconnect} "
+          f"{args.rows}x{args.cols} (II={args.contexts})")
+
+    witness = first_witness(dfg, mrrg)
+    if witness is not None:
+        print(f"structurally infeasible — {witness.format()}")
+        print("(no formulation built, no solver invoked)")
+        return 1
+
+    formulation = build_formulation(dfg, mrrg)
+    if formulation.infeasible_reason is not None:
+        print(f"infeasible during formulation: {formulation.infeasible_reason}")
+        return 1
+    report = audit_model(formulation.model)
+    print(report.summary())
+    for finding in report.findings:
+        print(f"  {finding.format()}")
+    if args.iis:
+        iis = iis_lite(formulation.model)
+        if iis is None:
+            print("IIS: model is feasible at the LP/presolve level")
+        else:
+            minimal = "minimal" if iis.minimal else "non-minimal"
+            print(f"IIS ({minimal}, {iis.solves} oracle solves): "
+                  f"{len(iis.constraints)} conflicting constraint(s)")
+            for family in iis.families:
+                print(f"  family: {family}")
+    return 1 if report.fatal is not None else 0
+
+
 def _cmd_bench_info(args) -> int:
     print(render_table1(), end="")
     return 0
@@ -393,6 +464,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--time-limit", type=float, default=120.0)
     p_sim.add_argument("--seed", type=int, default=1)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="static analysis: source lint and ILP model audit"
+    )
+    analyze_sub = p_analyze.add_subparsers(dest="analyze_command", required=True)
+    p_lint = analyze_sub.add_parser(
+        "lint",
+        help="project-specific AST lint (R001 set iteration, R002 float "
+             "equality, R003 swallowed except, R004 nondeterminism)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too, not just errors",
+    )
+    p_lint.add_argument(
+        "--rules", metavar="RXXX[,RXXX...]",
+        help="run only these rule IDs (comma-separated)",
+    )
+    p_lint.set_defaults(func=_cmd_analyze_lint)
+    p_model = analyze_sub.add_parser(
+        "model",
+        help="audit the ILP formulation of an instance before solving",
+    )
+    p_model.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    _add_arch_args(p_model)
+    p_model.add_argument(
+        "--iis", action="store_true",
+        help="on an infeasible model, narrow to a small conflicting "
+             "constraint subset (IIS-lite deletion filter)",
+    )
+    p_model.set_defaults(func=_cmd_analyze_model)
 
     p_bench = sub.add_parser("bench-info", help="print Table 1")
     p_bench.set_defaults(func=_cmd_bench_info)

@@ -24,7 +24,7 @@ import math
 import time
 
 import numpy as np
-from scipy import optimize, sparse
+from scipy import optimize
 
 from .model import Model
 from .standard_form import StandardForm, compile_model

@@ -36,6 +36,7 @@ import time
 from collections import deque
 from collections.abc import Callable
 
+from ..analyze.model_audit import audit_model, first_witness
 from ..dfg.graph import DFG, Sink
 from ..dfg.validate import assert_valid
 from ..ilp.expr import Sense, Var
@@ -74,6 +75,10 @@ class ILPMapperOptions:
         use_presolve: run ``repro.ilp.presolve`` before the backend.
         verify_result: run the independent legality verifier on every
             extracted mapping and fail loudly on violations.
+        pre_audit: run the :mod:`repro.analyze` capacity screen before
+            building the formulation and the model audit before solving;
+            a structural witness or a fatal audit finding turns into a
+            proven INFEASIBLE without invoking the backend.
     """
 
     backend: str = "highs"
@@ -88,6 +93,7 @@ class ILPMapperOptions:
     mip_rel_gap: float | None = None
     use_presolve: bool = False
     verify_result: bool = True
+    pre_audit: bool = True
 
     def __post_init__(self):
         if self.objective not in ("route_usage", "weighted", "none"):
@@ -503,6 +509,23 @@ class ILPMapper(Mapper):
         """Build and solve the formulation; extract and verify the mapping."""
         opts = self.options
         start = time.perf_counter()
+        if opts.pre_audit:
+            witness = first_witness(dfg, mrrg)
+            if witness is not None:
+                elapsed = time.perf_counter() - start
+                self._emit(
+                    "pre-audit",
+                    duration=elapsed,
+                    verdict="infeasible",
+                    rule=witness.rule,
+                    message=witness.message,
+                )
+                return MapResult(
+                    status=MapStatus.INFEASIBLE,
+                    formulation_time=elapsed,
+                    detail=f"structural witness {witness.rule}: {witness.message}",
+                    proven_optimal=True,
+                )
         formulation = build_formulation(dfg, mrrg, opts)
         formulation_time = time.perf_counter() - start
         self._emit(
@@ -520,6 +543,25 @@ class ILPMapper(Mapper):
                 detail=formulation.infeasible_reason,
                 proven_optimal=True,
             )
+
+        if opts.pre_audit:
+            audit_start = time.perf_counter()
+            report = audit_model(formulation.model)
+            fatal = report.fatal
+            self._emit(
+                "model-audit",
+                duration=time.perf_counter() - audit_start,
+                findings=len(report.findings),
+                rules=sorted(report.rules()),
+                fatal=fatal.rule if fatal else None,
+            )
+            if fatal is not None:
+                return MapResult(
+                    status=MapStatus.INFEASIBLE,
+                    formulation_time=time.perf_counter() - start,
+                    detail=f"model audit {fatal.rule}: {fatal.message}",
+                    proven_optimal=True,
+                )
 
         solution = solve(
             formulation.model,

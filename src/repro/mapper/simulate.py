@@ -76,7 +76,7 @@ class FabricSimulator:
         used = set(self.config.used_nodes)
         active_fus = set(self.config.fu_ops)
         nodes: dict[str, MRRGNode] = {}
-        for node_id in used | active_fus:
+        for node_id in sorted(used | active_fus):
             nodes[node_id] = self.mrrg.node(node_id)
 
         def same_cycle_inputs(node: MRRGNode) -> list[str]:

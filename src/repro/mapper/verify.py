@@ -118,7 +118,13 @@ def _check_route(
     dst_fu = mapping.placement.get(sink.op)
     if src_fu is None or dst_fu is None:
         return [f"sub-value {producer}=>{sink}: endpoint op unplaced"]
-    for node_id in route:
+    for fu_id in (src_fu, dst_fu):
+        if fu_id not in mrrg:
+            return [
+                f"sub-value {producer}=>{sink}: endpoint placed on "
+                f"missing node {fu_id!r}"
+            ]
+    for node_id in sorted(route):
         if node_id not in mrrg:
             issues.append(f"sub-value {producer}=>{sink}: missing node {node_id!r}")
             return issues

@@ -19,6 +19,7 @@ import hashlib
 import json
 from typing import Any
 
+from ..analyze import RULESET_VERSION
 from ..arch.module import Module
 from ..arch.primitives import FunctionalUnit, Multiplexer, Primitive, Register
 from ..dfg.graph import DFG
@@ -132,10 +133,16 @@ def fingerprint_request(
         contexts: MRRG context count (the initiation interval).
         config: JSON-able mapper/portfolio configuration description
             (see :meth:`repro.service.portfolio.PortfolioConfig.describe`).
+
+    The analyzer rule-set version participates in the hash: a cached
+    verdict can be *produced* by the pre-solve audit (a structural
+    INFEASIBLE), so a rule change must invalidate previously cached
+    answers rather than keep serving verdicts from retired rules.
     """
     return fingerprint_document(
         {
-            "version": 1,
+            "version": 2,
+            "analyze_ruleset": RULESET_VERSION,
             "arch": canonical_module(arch),
             "dfg": canonical_dfg(dfg),
             "contexts": contexts,

@@ -28,6 +28,7 @@ import dataclasses
 import time
 from typing import Any
 
+from ..analyze.model_audit import first_witness
 from ..dfg.graph import DFG
 from ..mapper.base import Mapper, MapResult, MapStatus
 from ..mapper.greedy_mapper import GreedyMapper, GreedyMapperOptions
@@ -127,6 +128,10 @@ class PortfolioConfig:
         mip_rel_gap: relative-gap stop for ILP stages (1.0 = accept the
             first incumbent, i.e. pure feasibility; None = prove
             optimality).
+        pre_audit: run the :mod:`repro.analyze` capacity screen before
+            the first stage; a structural-infeasibility witness settles
+            the request without running any stage (and, being a proven
+            INFEASIBLE, is cached by the service layer).
     """
 
     stages: tuple[StageSpec, ...] = dataclasses.field(
@@ -135,6 +140,7 @@ class PortfolioConfig:
     stop_at_first_feasible: bool = True
     deadline: float | None = None
     mip_rel_gap: float | None = 1.0
+    pre_audit: bool = True
 
     def __post_init__(self):
         if not self.stages:
@@ -147,6 +153,7 @@ class PortfolioConfig:
             "stop_at_first_feasible": self.stop_at_first_feasible,
             "deadline": self.deadline,
             "mip_rel_gap": self.mip_rel_gap,
+            "pre_audit": self.pre_audit,
         }
 
 
@@ -277,6 +284,30 @@ def run_portfolio(
         return PortfolioOutcome(
             result=result, stage=stage, degraded=degraded, attempts=attempts
         )
+
+    if config.pre_audit:
+        witness = first_witness(dfg, mrrg)
+        if telemetry is not None:
+            telemetry.emit(
+                "pre-audit",
+                duration=time.perf_counter() - start,
+                verdict="infeasible" if witness else "clean",
+                rule=witness.rule if witness else None,
+                message=witness.message if witness else None,
+            )
+        if witness is not None:
+            # A pigeonhole witness is an infeasibility proof: no stage —
+            # heuristic or exact — could ever find a mapping.
+            return finish(
+                MapResult(
+                    status=MapStatus.INFEASIBLE,
+                    detail=(
+                        f"structural witness {witness.rule}: {witness.message}"
+                    ),
+                    proven_optimal=True,
+                ),
+                "pre-audit",
+            )
 
     for stage in config.stages:
         budget = stage.time_limit

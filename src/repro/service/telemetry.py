@@ -33,6 +33,8 @@ KNOWN_KINDS = (
     "stage-start",
     "stage-end",
     "stage-skipped",
+    "pre-audit",
+    "model-audit",
     "model-build",
     "solve",
     "route",

@@ -1,0 +1,191 @@
+"""Project lint: rule behaviour, scope classification, CLI exit codes."""
+
+from pathlib import Path
+
+from repro.analyze import lint_file, lint_paths
+from repro.analyze.lint import classify, default_target
+from repro.cli import main
+
+BAD_EMISSION = """\
+def emit(model, nodes: set):
+    for node in nodes:
+        model.add(node)
+"""
+
+SORTED_EMISSION = """\
+def emit(model, nodes: set):
+    for node in sorted(nodes):
+        model.add(node)
+"""
+
+
+def _fixture(tmp_path: Path, relative: str, source: str) -> Path:
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+# ----------------------------------------------------------------------
+# R001: set iteration
+# ----------------------------------------------------------------------
+def test_r001_error_in_emission_module(tmp_path):
+    path = _fixture(tmp_path, "mrrg/build.py", BAD_EMISSION)
+    findings = lint_file(path)
+    assert [f.rule for f in findings] == ["R001"]
+    assert findings[0].severity == "error"
+
+
+def test_r001_sorted_wrapper_is_clean(tmp_path):
+    path = _fixture(tmp_path, "mrrg/build.py", SORTED_EMISSION)
+    assert lint_file(path) == []
+
+
+def test_r001_warning_outside_emission_modules(tmp_path):
+    path = _fixture(tmp_path, "other/util.py", BAD_EMISSION)
+    findings = lint_file(path)
+    assert [f.rule for f in findings] == ["R001"]
+    assert findings[0].severity == "warning"
+
+
+def test_r001_tracks_set_expressions(tmp_path):
+    source = (
+        "def f(model, a: set, b: set):\n"
+        "    union = a | b\n"
+        "    return [model.var(x) for x in union]\n"
+    )
+    path = _fixture(tmp_path, "ilp/model.py", source)
+    assert [f.rule for f in lint_file(path)] == ["R001"]
+
+
+def test_r001_allows_set_comprehension_and_membership(tmp_path):
+    source = (
+        "def f(nodes: set, item):\n"
+        "    shadow = {n for n in nodes}\n"
+        "    return item in nodes\n"
+    )
+    path = _fixture(tmp_path, "ilp/model.py", source)
+    assert lint_file(path) == []
+
+
+def test_r001_suppression_comment(tmp_path):
+    source = (
+        "def f(nodes: set):\n"
+        "    for n in nodes:  # lint: allow(R001)\n"
+        "        print(n)\n"
+    )
+    path = _fixture(tmp_path, "mrrg/build.py", source)
+    assert lint_file(path) == []
+
+
+# ----------------------------------------------------------------------
+# R002-R004
+# ----------------------------------------------------------------------
+def test_r002_float_equality_in_solver_code(tmp_path):
+    source = "def f(x):\n    return x == 0.5\n"
+    path = _fixture(tmp_path, "ilp/solve.py", source)
+    assert [f.rule for f in lint_file(path)] == ["R002"]
+
+
+def test_r002_zero_comparison_allowed(tmp_path):
+    source = "def f(x):\n    return x == 0.0\n"
+    path = _fixture(tmp_path, "ilp/solve.py", source)
+    assert lint_file(path) == []
+
+
+def test_r002_not_reported_outside_solver_code(tmp_path):
+    source = "def f(x):\n    return x == 0.5\n"
+    path = _fixture(tmp_path, "explore/tables.py", source)
+    assert lint_file(path) == []
+
+
+def test_r003_bare_except(tmp_path):
+    source = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except:\n"
+        "        pass\n"
+    )
+    path = _fixture(tmp_path, "anywhere.py", source)
+    findings = lint_file(path)
+    assert [f.rule for f in findings] == ["R003"]
+    assert findings[0].severity == "error"
+
+
+def test_r003_broad_except_with_reraise_allowed(tmp_path):
+    source = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        cleanup()\n"
+        "        raise\n"
+    )
+    path = _fixture(tmp_path, "anywhere.py", source)
+    assert lint_file(path) == []
+
+
+def test_r004_wall_clock_in_fingerprint_path(tmp_path):
+    source = "import time\n\ndef stamp(doc):\n    doc['ts'] = time.time()\n"
+    path = _fixture(tmp_path, "service/fingerprint.py", source)
+    assert [f.rule for f in lint_file(path)] == ["R004"]
+
+
+def test_r004_seeded_rng_allowed(tmp_path):
+    source = "import random\n\ndef f(seed):\n    return random.Random(seed)\n"
+    path = _fixture(tmp_path, "service/fingerprint.py", source)
+    assert lint_file(path) == []
+
+
+# ----------------------------------------------------------------------
+# classification, tree-wide run, CLI
+# ----------------------------------------------------------------------
+def test_classify_tags():
+    assert "emission" in classify("src/repro/mrrg/build.py")
+    assert "solver" in classify("src/repro/ilp/bnb.py")
+    assert "fingerprint" in classify("src/repro/service/fingerprint.py")
+    assert classify("src/repro/explore/tables.py") == set()
+
+
+def test_current_tree_is_clean():
+    """The acceptance bar: zero findings over the installed package."""
+    assert lint_paths() == []
+    assert default_target().name == "repro"
+
+
+def test_cli_exits_nonzero_on_bad_fixture(tmp_path, capsys):
+    _fixture(tmp_path, "mrrg/build.py", BAD_EMISSION)
+    assert main(["analyze", "lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "R001" in out and "1 error(s)" in out
+
+
+def test_cli_exits_zero_on_current_tree(capsys):
+    assert main(["analyze", "lint"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_cli_strict_fails_on_warnings(tmp_path):
+    _fixture(tmp_path, "other/util.py", BAD_EMISSION)  # warning scope
+    assert main(["analyze", "lint", str(tmp_path)]) == 0
+    assert main(["analyze", "lint", "--strict", str(tmp_path)]) == 1
+
+
+def test_cli_rule_filter(tmp_path):
+    _fixture(tmp_path, "mrrg/build.py", BAD_EMISSION)
+    assert main(["analyze", "lint", "--rules", "R002", str(tmp_path)]) == 0
+    assert main(
+        ["analyze", "lint", "--rules", "R001,R002", str(tmp_path)]
+    ) == 1
+
+
+def test_cli_rejects_unknown_rule(tmp_path, capsys):
+    assert main(["analyze", "lint", "--rules", "R999", str(tmp_path)]) == 2
+    assert "unknown rule" in capsys.readouterr().out
+
+
+def test_cli_rejects_missing_path(tmp_path, capsys):
+    ghost = tmp_path / "nope"
+    assert main(["analyze", "lint", str(ghost)]) == 2
+    assert "no such path" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Pre-audit wiring: portfolio skip, cache storage, fingerprint coupling."""
+
+import pytest
+
+from repro.arch.testsuite import paper_architecture
+from repro.kernels.registry import kernel
+from repro.mapper.base import MapStatus
+from repro.mrrg import build_mrrg_from_module, prune
+from repro.service import fingerprint as fingerprint_mod
+from repro.service.core import MapRequest, MappingService
+from repro.service.fingerprint import fingerprint_request
+from repro.service.portfolio import PortfolioConfig, run_portfolio, single_stage
+from repro.service.telemetry import EventBus, EventLog
+
+
+@pytest.fixture
+def oversized_instance():
+    """accum (18 ops) on a 2x2 homogeneous fabric at II=1 (14 FU slots)."""
+    dfg = kernel("accum")
+    top = paper_architecture("homogeneous", "orthogonal", rows=2, cols=2)
+    mrrg = prune(build_mrrg_from_module(top, 1))
+    return dfg, top, mrrg
+
+
+def _bus():
+    bus, log = EventBus(), EventLog()
+    bus.subscribe(log)
+    return bus, log
+
+
+def test_portfolio_skips_all_stages_on_structural_witness(oversized_instance):
+    dfg, _top, mrrg = oversized_instance
+    bus, log = _bus()
+    outcome = run_portfolio(dfg, mrrg, PortfolioConfig(), telemetry=bus)
+    assert outcome.result.status is MapStatus.INFEASIBLE
+    assert outcome.result.proven_optimal
+    assert outcome.stage == "pre-audit"
+    assert outcome.attempts == []
+    kinds = log.kinds()
+    assert "pre-audit" in kinds
+    assert "stage-start" not in kinds and "solve" not in kinds
+    (event,) = log.of_kind("pre-audit")
+    assert event.fields["rule"] == "S001"
+
+
+def test_portfolio_pre_audit_can_be_disabled(oversized_instance, monkeypatch):
+    dfg, _top, mrrg = oversized_instance
+    monkeypatch.setattr(
+        "repro.service.portfolio.first_witness",
+        lambda *a: pytest.fail("screen ran despite pre_audit=False"),
+    )
+    config = PortfolioConfig(
+        stages=single_stage("greedy", time_limit=2.0), pre_audit=False
+    )
+    outcome = run_portfolio(dfg, mrrg, config)
+    # Greedy cannot prove anything about an oversized instance.
+    assert outcome.result.status is not MapStatus.INFEASIBLE
+
+
+def test_service_caches_structural_infeasible_verdict(
+    oversized_instance, tmp_path
+):
+    dfg, top, _mrrg = oversized_instance
+    request = MapRequest(dfg=dfg, arch=top, contexts=1, label="accum-2x2")
+    with MappingService(cache_dir=tmp_path / "cache") as service:
+        first = service.map_request(request)
+        assert first.result.status is MapStatus.INFEASIBLE
+        assert first.stage == "pre-audit"
+        assert not first.cache_hit
+        second = service.map_request(request)
+        assert second.cache_hit
+        assert second.result.status is MapStatus.INFEASIBLE
+
+
+def test_fingerprint_tracks_analyzer_ruleset(oversized_instance, monkeypatch):
+    dfg, top, _mrrg = oversized_instance
+    before = fingerprint_request(top, dfg, 1, {})
+    monkeypatch.setattr(
+        fingerprint_mod, "RULESET_VERSION", fingerprint_mod.RULESET_VERSION + 1
+    )
+    after = fingerprint_request(top, dfg, 1, {})
+    assert before != after
+
+
+def test_portfolio_config_describe_includes_pre_audit():
+    config = PortfolioConfig(stages=single_stage("greedy"))
+    assert config.describe()["pre_audit"] is True
+    fp_on = fingerprint_request(
+        paper_architecture("homogeneous", "orthogonal", rows=2, cols=2),
+        kernel("accum"), 1, config.describe(),
+    )
+    off = PortfolioConfig(stages=single_stage("greedy"), pre_audit=False)
+    fp_off = fingerprint_request(
+        paper_architecture("homogeneous", "orthogonal", rows=2, cols=2),
+        kernel("accum"), 1, off.describe(),
+    )
+    assert fp_on != fp_off

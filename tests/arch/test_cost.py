@@ -1,7 +1,5 @@
 """Tests for the architecture cost model."""
 
-import pytest
-
 from repro.arch import GridSpec, build_grid, flatten, paper_architecture
 from repro.arch.cost import estimate_cost, estimate_module_cost
 from repro.arch.grid import heterogeneous_ops

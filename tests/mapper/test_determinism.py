@@ -49,12 +49,44 @@ print(digest.hexdigest())
 """
 
 
-def _emission_digest(hash_seed: int) -> str:
+# The simulator's per-context schedule is derived from a set union
+# (``used | active_fus``) — the R001 site fixed alongside the analyze
+# subsystem.  Its topological tie-breaking order must likewise not leak
+# the hash seed.
+SIM_SCHEDULE_SCRIPT = """
+import hashlib
+
+from repro.arch import GridSpec, build_grid
+from repro.dfg import DFGBuilder
+from repro.mapper.config import extract_configuration
+from repro.mapper.greedy_mapper import GreedyMapper, GreedyMapperOptions
+from repro.mapper.simulate import FabricSimulator
+from repro.mrrg import build_mrrg_from_module, prune
+
+b = DFGBuilder("tiny")
+x, y = b.input("x"), b.input("y")
+b.output(b.add(x, y, name="s"), name="o")
+dfg = b.build()
+grid = build_grid(GridSpec(rows=2, cols=2), name="g")
+mrrg = prune(build_mrrg_from_module(grid, 1))
+
+result = GreedyMapper(GreedyMapperOptions(seed=3, restarts=4)).map(dfg, mrrg)
+assert result.mapping is not None, "greedy failed to map the tiny DFG"
+sim = FabricSimulator(extract_configuration(result.mapping))
+digest = hashlib.sha256()
+for ctx in sorted(sim._schedule):
+    for node in sim._schedule[ctx]:
+        digest.update(node.node_id.encode() + b"|")
+print(digest.hexdigest())
+"""
+
+
+def _digest(script: str, hash_seed: int) -> str:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = str(hash_seed)
     env["PYTHONPATH"] = str(SRC)
     proc = subprocess.run(
-        [sys.executable, "-c", SCRIPT],
+        [sys.executable, "-c", script],
         capture_output=True,
         text=True,
         env=env,
@@ -63,9 +95,21 @@ def _emission_digest(hash_seed: int) -> str:
     return proc.stdout.strip()
 
 
+def _emission_digest(hash_seed: int) -> str:
+    return _digest(SCRIPT, hash_seed)
+
+
 def test_emission_order_survives_hash_randomization():
     digests = {_emission_digest(seed) for seed in (0, 1, 2)}
     assert len(digests) == 1, (
         "ILP variable/constraint emission depends on PYTHONHASHSEED; "
         "a raw set/dict is being iterated somewhere in build_formulation"
+    )
+
+
+def test_simulator_schedule_survives_hash_randomization():
+    digests = {_digest(SIM_SCHEDULE_SCRIPT, seed) for seed in (0, 1)}
+    assert len(digests) == 1, (
+        "FabricSimulator schedule order depends on PYTHONHASHSEED; "
+        "a raw set is being iterated in _build_schedule"
     )

@@ -6,7 +6,7 @@ from repro.dfg import DFGBuilder, OpCode
 from repro.ilp import Sense
 from repro.mapper import ILPMapperOptions, build_formulation
 
-from .helpers import MRRGCraft, mrrg_a, mrrg_c
+from .helpers import MRRGCraft, mrrg_c
 
 
 def line_mrrg(num_fus=2, ops=(OpCode.ADD,)):

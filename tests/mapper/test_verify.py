@@ -9,7 +9,7 @@ import dataclasses
 import pytest
 
 from repro.dfg import DFGBuilder, Sink
-from repro.mapper import ILPMapper, Mapping, verify
+from repro.mapper import ILPMapper, verify
 from repro.mapper.verify import assert_legal
 
 from .helpers import mrrg_a, mrrg_c

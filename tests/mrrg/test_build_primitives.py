@@ -4,11 +4,9 @@ Each test builds a minimal module around one primitive and checks the
 generated MRRG fragment matches the published translation.
 """
 
-import pytest
-
 from repro.arch import Module, flatten
 from repro.dfg import OpCode
-from repro.mrrg import NodeKind, build_mrrg, node_id
+from repro.mrrg import build_mrrg, node_id
 
 
 def harness_with(primitive_adder) -> Module:

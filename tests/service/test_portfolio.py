@@ -94,7 +94,26 @@ class TestPolicy:
         assert final.fields["degraded"] is True
         assert final.fields["stage"] == "greedy"
 
-    def test_timeout_retries_with_grown_budget(self, tiny_dfg, mrrg_2x2_ii1):
+    def test_timeout_retries_with_grown_budget(
+        self, tiny_dfg, mrrg_2x2_ii1, monkeypatch
+    ):
+        # A stub mapper that always times out: the policy under test is
+        # the retry/budget-growth loop, which must not depend on how
+        # fast the real backend happens to be on this machine.
+        from repro.mapper.base import Mapper, MapResult
+        from repro.service import portfolio as portfolio_mod
+
+        budgets = []
+
+        class AlwaysTimeout(Mapper):
+            def map(self, dfg, mrrg):
+                return MapResult(status=MapStatus.TIMEOUT)
+
+        def fake_build(stage, budget, config, telemetry=None):
+            budgets.append(budget)
+            return AlwaysTimeout()
+
+        monkeypatch.setattr(portfolio_mod, "_build_mapper", fake_build)
         config = PortfolioConfig(
             stages=(
                 StageSpec(mapper="ilp", backend="bnb", time_limit=0.001,
@@ -103,6 +122,7 @@ class TestPolicy:
         )
         outcome = run_portfolio(tiny_dfg, mrrg_2x2_ii1, config)
         assert [a.status for a in outcome.attempts] == [MapStatus.TIMEOUT] * 3
+        assert budgets == [0.001, 0.002, 0.004]
         assert [a.budget for a in outcome.attempts] == [0.001, 0.002, 0.004]
         assert outcome.result.status is MapStatus.TIMEOUT
         assert not outcome.degraded
@@ -115,11 +135,14 @@ class TestPolicy:
         mrrg = prune(build_mrrg_from_module(fabric, 1))
         b = DFGBuilder("loader")
         b.output(b.op("load", name="ld"), name="o")
+        # pre_audit off so the *stage's* proof (not the capacity screen)
+        # is what stops the ladder — the policy under test here.
         config = PortfolioConfig(
             stages=(
                 StageSpec(mapper="ilp", backend="highs", time_limit=30.0),
                 StageSpec(mapper="ilp", backend="bnb", time_limit=30.0),
             ),
+            pre_audit=False,
         )
         outcome = run_portfolio(b.build(), mrrg, config)
         assert outcome.result.status is MapStatus.INFEASIBLE

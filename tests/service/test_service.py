@@ -120,8 +120,14 @@ class TestCaching:
         b = DFGBuilder("loader")
         b.output(b.op("load", name="ld"), name="o")
         dfg = b.build()
+        # pre_audit off: the capacity screen would prove this instance
+        # infeasible (a cacheable verdict); here we need the heuristic's
+        # indefinite GAVE_UP to check it is NOT cached.
+        portfolio = PortfolioConfig(
+            stages=_greedy_portfolio().stages, pre_audit=False
+        )
         service = MappingService(
-            portfolio=_greedy_portfolio(), cache_dir=tmp_path / "cache"
+            portfolio=portfolio, cache_dir=tmp_path / "cache"
         )
         first = service.map_request(MapRequest(dfg, fabric, contexts=1))
         assert first.result.status is MapStatus.GAVE_UP
