@@ -22,16 +22,20 @@ from __future__ import annotations
 #: Bump whenever an audit/lint rule changes behaviour in a way that can
 #: alter a mapping verdict (e.g. the structural screen learns a new
 #: witness).  Cached results are keyed on this.
-RULESET_VERSION = 1
+#: Version 2: the auditor and IIS filter run natively on compiled
+#: ``StandardForm`` matrices (same rules, same verdicts).
+RULESET_VERSION = 2
 
 from .lint import LintFinding, lint_file, lint_paths  # noqa: E402,F401
 from .model_audit import (  # noqa: E402,F401
     AuditFinding,
     AuditReport,
     IISResult,
+    audit_form,
     audit_model,
     first_witness,
     iis_lite,
+    iis_lite_form,
     screen_instance,
 )
 
@@ -41,9 +45,11 @@ __all__ = [
     "AuditReport",
     "IISResult",
     "LintFinding",
+    "audit_form",
     "audit_model",
     "first_witness",
     "iis_lite",
+    "iis_lite_form",
     "lint_file",
     "lint_paths",
     "screen_instance",

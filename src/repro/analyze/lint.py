@@ -47,9 +47,11 @@ from pathlib import Path
 EMISSION_SUFFIXES = (
     "ilp/model.py",
     "ilp/expr.py",
+    "ilp/blocks.py",
     "ilp/presolve.py",
     "ilp/standard_form.py",
     "mapper/ilp_mapper.py",
+    "mapper/sweep.py",
     "mrrg/build.py",
     "mrrg/graph.py",
     "mrrg/analysis.py",

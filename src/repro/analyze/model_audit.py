@@ -1,10 +1,11 @@
-"""Formulation auditor: structural analysis of ILP models before solving.
+"""Formulation auditor: structural analysis of compiled ILP forms.
 
 The paper's Table 2 verdicts are only as trustworthy as the formulation
 handed to the solver, and modeling bugs are silent: a dead variable or a
 tautological row does not crash anything, it just changes what "optimal"
-or "infeasible" means.  This module inspects a built
-:class:`repro.ilp.model.Model` *without solving it* and reports:
+or "infeasible" means.  This module inspects a compiled
+:class:`repro.ilp.standard_form.StandardForm` *without solving it* —
+:func:`audit_model` is a thin wrapper that compiles first — and reports:
 
 * **M001 dead-variable** — a variable appearing in no constraint and no
   objective term (typically a pruning bug: the variable was emitted but
@@ -22,6 +23,13 @@ or "infeasible" means.  This module inspects a built
 * **M007 conditioning** — coefficient magnitude spread beyond a
   threshold (numerical-trouble smell, not a bug per se).
 
+On matrix form the rules are mostly vectorized: activity ranges are two
+masked gathers plus a ``bincount`` reduction over the CSR triplets, dead
+variables a column-count ``bincount``, and duplicate rows hash each
+row's (bounds, sorted indices, data) bytes — the remaining per-row
+Python loop only formats findings for flagged rows.  Findings preserve
+the emission order of the original per-constraint auditor exactly.
+
 Findings with ``fatal=True`` (M005/M006 and the S-rules below) are
 *infeasibility witnesses*: the instance provably has no solution and the
 solver budget can be saved entirely.
@@ -37,9 +45,9 @@ unwinnable solver calls):
   multiplier-capable units);
 * **S003 value-capacity** — more routed values than routing resources.
 
-Finally, :func:`iis_lite` is a deletion-filter that narrows a proven
-infeasible model to a small conflicting constraint subset, reported by
-the constraint-family names used in
+Finally, :func:`iis_lite` / :func:`iis_lite_form` is a deletion-filter
+that narrows a proven infeasible instance to a small conflicting row
+subset, reported by the constraint-family labels used in
 :func:`repro.mapper.ilp_mapper.build_formulation` (``placement``,
 ``fanout``, ``mux_excl``...), so an unexpected INFEASIBLE can be traced
 to the constraint families that actually clash.
@@ -51,9 +59,12 @@ import dataclasses
 import math
 from collections.abc import Callable, Sequence
 
+import numpy as np
+
 from ..dfg.graph import DFG
-from ..ilp.expr import Sense, VarType
+from ..ilp.expr import Sense
 from ..ilp.model import Model
+from ..ilp.standard_form import StandardForm, compile_model
 from ..mrrg.graph import MRRG
 
 #: Human-readable one-liners per rule (rendered by reports and docs).
@@ -112,7 +123,7 @@ class CoefficientStats:
 
 @dataclasses.dataclass
 class AuditReport:
-    """Outcome of :func:`audit_model`.
+    """Outcome of :func:`audit_form` / :func:`audit_model`.
 
     Attributes:
         model_name: name of the audited model.
@@ -167,95 +178,96 @@ class AuditReport:
         return "\n".join(lines)
 
 
-def _activity_range(
-    terms: dict[int, float], lb: dict[int, float], ub: dict[int, float]
-) -> tuple[float, float]:
-    """Min/max of ``sum(c*x)`` over the variable boxes (inf-aware)."""
-    lo = hi = 0.0
-    for idx, coeff in terms.items():
-        if coeff == 0.0:
-            continue
-        a, b = (lb[idx], ub[idx]) if coeff > 0 else (ub[idx], lb[idx])
-        lo += coeff * a
-        hi += coeff * b
-    return lo, hi
+def _row_sense(row_lb: float, row_ub: float) -> tuple[Sense, float]:
+    """Recover (sense, rhs) of a non-ranged row from its bounds."""
+    if row_lb == row_ub:
+        return Sense.EQ, row_ub
+    if math.isinf(row_lb):
+        return Sense.LE, row_ub
+    return Sense.GE, row_lb
 
 
-def audit_model(
-    model: Model,
+def audit_form(
+    form: StandardForm,
     conditioning_threshold: float = 1e8,
     tol: float = 1e-9,
 ) -> AuditReport:
-    """Audit a built model; see the module docstring for the rules."""
-    variables = model.variables
-    constraints = model.constraints
+    """Audit a compiled form; see the module docstring for the rules."""
+    num_vars, num_rows = form.num_vars, form.num_rows
+    a = form.A
+    var_lb, var_ub = form.var_lb, form.var_ub
+    row_lb, row_ub = form.row_lb, form.row_ub
     findings: list[AuditFinding] = []
 
-    lb = {v.index: v.lb for v in variables}
-    ub = {v.index: v.ub for v in variables}
-
-    # M005: empty variable domains.
-    for var in variables:
-        if var.lb > var.ub:
+    # M005: empty variable domains (vectorized screen, ordered emission).
+    bad_bounds = var_lb > var_ub
+    with np.errstate(invalid="ignore"):
+        integer_hole = (
+            (form.integrality != 0)
+            & np.isfinite(var_lb)
+            & np.isfinite(var_ub)
+            & (np.ceil(var_lb - tol) > np.floor(var_ub + tol))
+        )
+    for j in np.flatnonzero(bad_bounds | integer_hole):
+        name = form.var_name(int(j))
+        if bad_bounds[j]:
             findings.append(AuditFinding(
-                "M005", "error", var.name,
-                f"variable {var.name!r} has lb {var.lb:g} > ub {var.ub:g}",
+                "M005", "error", name,
+                f"variable {name!r} has lb {var_lb[j]:g} > ub {var_ub[j]:g}",
                 fatal=True,
             ))
-        elif (
-            var.vtype is not VarType.CONTINUOUS
-            and math.isfinite(var.lb)
-            and math.isfinite(var.ub)
-            and math.ceil(var.lb - tol) > math.floor(var.ub + tol)
-        ):
+        else:
             findings.append(AuditFinding(
-                "M005", "error", var.name,
-                f"integer variable {var.name!r} has no integer in "
-                f"[{var.lb:g}, {var.ub:g}]",
+                "M005", "error", name,
+                f"integer variable {name!r} has no integer in "
+                f"[{var_lb[j]:g}, {var_ub[j]:g}]",
                 fatal=True,
             ))
 
-    # M001: dead variables.
-    used: set[int] = set()
-    for constraint in constraints:
-        for idx, coeff in constraint.expr.terms.items():
-            if coeff != 0.0:
-                used.add(idx)
-    for idx, coeff in model.objective.terms.items():
-        if coeff != 0.0:
-            used.add(idx)
-    for var in variables:
-        if var.index not in used:
-            findings.append(AuditFinding(
-                "M001", "warning", var.name,
-                f"variable {var.name!r} appears in no constraint or "
-                "objective term",
-            ))
+    # M001: dead variables — no matrix column entry, no objective term.
+    used = np.bincount(a.indices, minlength=num_vars) > 0
+    used |= form.c != 0.0
+    for j in np.flatnonzero(~used):
+        name = form.var_name(int(j))
+        findings.append(AuditFinding(
+            "M001", "warning", name,
+            f"variable {name!r} appears in no constraint or objective term",
+        ))
 
-    # Row rules: M002 empty, M003 tautological, M006 infeasible, M004 dup.
+    # Per-row activity ranges over the variable boxes: one masked gather
+    # per direction, reduced per row with bincount.  There are no stored
+    # zeros, so no 0 * inf products appear.
+    row_idx = np.repeat(np.arange(num_rows), np.diff(a.indptr))
+    with np.errstate(invalid="ignore"):
+        contrib_lo = np.where(
+            a.data > 0, a.data * var_lb[a.indices], a.data * var_ub[a.indices]
+        )
+        contrib_hi = np.where(
+            a.data > 0, a.data * var_ub[a.indices], a.data * var_lb[a.indices]
+        )
+        lo = np.bincount(row_idx, weights=contrib_lo, minlength=num_rows)
+        hi = np.bincount(row_idx, weights=contrib_hi, minlength=num_rows)
+
+        empty = np.diff(a.indptr) == 0
+        # Empty rows: constant lhs 0 inside [row_lb, row_ub] is satisfied.
+        empty_ok = (row_lb <= tol) & (row_ub >= -tol)
+        eq = row_lb == row_ub
+        infeasible = (lo > row_ub + tol) | (hi < row_lb - tol)
+        taut = np.where(
+            eq,
+            (np.abs(hi - lo) <= tol) & (np.abs(lo - row_lb) <= tol),
+            (hi <= row_ub + tol) & (lo >= row_lb - tol),
+        )
+    flagged = empty | infeasible | taut
+
+    # M002/M003/M006 per flagged row, M004 duplicate hashing per row —
+    # emission order matches the per-constraint auditor exactly.
     seen_rows: dict[tuple, str] = {}
-    min_abs, max_abs, nnz = math.inf, 0.0, 0
-    for i, constraint in enumerate(constraints):
-        label = constraint.name or f"#{i}"
-        live = {
-            idx: coeff
-            for idx, coeff in constraint.expr.terms.items()
-            if coeff != 0.0
-        }
-        for coeff in live.values():
-            magnitude = abs(coeff)
-            min_abs = min(min_abs, magnitude)
-            max_abs = max(max_abs, magnitude)
-            nnz += 1
-
-        sense, rhs = constraint.sense, constraint.rhs
-        if not live:
-            satisfied = (
-                (sense is Sense.LE and 0.0 <= rhs + tol)
-                or (sense is Sense.GE and 0.0 >= rhs - tol)
-                or (sense is Sense.EQ and abs(rhs) <= tol)
-            )
-            if satisfied:
+    for i in range(num_rows):
+        label = form.row_label(i)
+        if empty[i]:
+            sense, rhs = _row_sense(row_lb[i], row_ub[i])
+            if empty_ok[i]:
                 findings.append(AuditFinding(
                     "M002", "warning", label,
                     f"constraint {label} has no nonzero terms "
@@ -269,34 +281,30 @@ def audit_model(
                     fatal=True,
                 ))
             continue
+        if flagged[i]:
+            sense, rhs = _row_sense(row_lb[i], row_ub[i])
+            if infeasible[i]:
+                findings.append(AuditFinding(
+                    "M006", "error", label,
+                    f"constraint {label} is unsatisfiable: activity range "
+                    f"[{lo[i]:g}, {hi[i]:g}] excludes {sense.value} {rhs:g}",
+                    fatal=True,
+                ))
+            elif taut[i]:
+                findings.append(AuditFinding(
+                    "M003", "warning", label,
+                    f"constraint {label} can never bind: activity range "
+                    f"[{lo[i]:g}, {hi[i]:g}] always satisfies "
+                    f"{sense.value} {rhs:g}",
+                ))
 
-        lo, hi = _activity_range(live, lb, ub)
-        infeasible = (
-            (sense is Sense.LE and lo > rhs + tol)
-            or (sense is Sense.GE and hi < rhs - tol)
-            or (sense is Sense.EQ and (rhs < lo - tol or rhs > hi + tol))
+        span = slice(a.indptr[i], a.indptr[i + 1])
+        key = (
+            float(row_lb[i]),
+            float(row_ub[i]),
+            a.indices[span].tobytes(),
+            a.data[span].tobytes(),
         )
-        tautological = (
-            (sense is Sense.LE and hi <= rhs + tol)
-            or (sense is Sense.GE and lo >= rhs - tol)
-            or (sense is Sense.EQ and abs(hi - lo) <= tol
-                and abs(lo - rhs) <= tol)
-        )
-        if infeasible:
-            findings.append(AuditFinding(
-                "M006", "error", label,
-                f"constraint {label} is unsatisfiable: activity range "
-                f"[{lo:g}, {hi:g}] excludes {sense.value} {rhs:g}",
-                fatal=True,
-            ))
-        elif tautological:
-            findings.append(AuditFinding(
-                "M003", "warning", label,
-                f"constraint {label} can never bind: activity range "
-                f"[{lo:g}, {hi:g}] always satisfies {sense.value} {rhs:g}",
-            ))
-
-        key = (sense, rhs, tuple(sorted(live.items())))
         if key in seen_rows:
             findings.append(AuditFinding(
                 "M004", "warning", label,
@@ -306,22 +314,40 @@ def audit_model(
             seen_rows[key] = label
 
     coefficients = None
+    nnz = int(a.nnz)
     if nnz:
-        coefficients = CoefficientStats(nnz, min_abs, max_abs)
+        magnitudes = np.abs(a.data)
+        coefficients = CoefficientStats(
+            nnz, float(magnitudes.min()), float(magnitudes.max())
+        )
         if coefficients.ratio > conditioning_threshold:
             findings.append(AuditFinding(
-                "M007", "warning", model.name,
-                f"coefficient magnitudes span [{min_abs:g}, {max_abs:g}] "
+                "M007", "warning", form.name,
+                f"coefficient magnitudes span "
+                f"[{coefficients.min_abs:g}, {coefficients.max_abs:g}] "
                 f"(ratio {coefficients.ratio:.3g} > "
                 f"{conditioning_threshold:g})",
             ))
 
     return AuditReport(
-        model_name=model.name,
-        num_vars=len(variables),
-        num_constraints=len(constraints),
+        model_name=form.name,
+        num_vars=num_vars,
+        num_constraints=num_rows,
         findings=findings,
         coefficients=coefficients,
+    )
+
+
+def audit_model(
+    model: Model,
+    conditioning_threshold: float = 1e8,
+    tol: float = 1e-9,
+) -> AuditReport:
+    """Audit a built model (compiles, then delegates to :func:`audit_form`)."""
+    return audit_form(
+        compile_model(model),
+        conditioning_threshold=conditioning_threshold,
+        tol=tol,
     )
 
 
@@ -405,7 +431,7 @@ class IISResult:
         constraints: names of the retained (still jointly infeasible)
             constraints, in model order.
         families: distinct constraint-family tags of ``constraints``
-            (the prefix before ``[`` in the names ``build_formulation``
+            (the prefix before ``[`` in the labels ``build_formulation``
             assigns: ``placement``, ``fu_excl``, ``fanout``...).
         solves: feasibility-oracle calls spent.
         minimal: True when the per-constraint filter completed, i.e. the
@@ -421,6 +447,148 @@ class IISResult:
 def constraint_family(name: str, index: int) -> str:
     """Family tag of a constraint name (``fanout[n3][s]`` -> ``fanout``)."""
     return name.split("[", 1)[0] if name else f"row{index}"
+
+
+def _subform(form: StandardForm, keep: Sequence[int]) -> StandardForm:
+    """Feasibility-only restriction of ``form`` to ``keep`` rows."""
+    keep_arr = np.asarray(keep, dtype=np.int64)
+    return dataclasses.replace(
+        form,
+        c=np.zeros(form.num_vars),
+        c0=0.0,
+        A=form.A[keep_arr],
+        row_lb=form.row_lb[keep_arr],
+        row_ub=form.row_ub[keep_arr],
+        maximize=False,
+        name=f"{form.name}.iis" if form.name else "iis",
+        row_labels=(
+            tuple(form.row_labels[int(i)] for i in keep_arr)
+            if form.row_labels is not None
+            else None
+        ),
+        blocks=None,
+    )
+
+
+def _default_form_oracle(form: StandardForm) -> bool:
+    """True when ``form`` is proven infeasible (presolve, then HiGHS)."""
+    from ..ilp.solve import solve_form
+    from ..ilp.status import SolveStatus
+
+    solution = solve_form(
+        form, backend="highs", mip_rel_gap=1.0, use_presolve=True
+    )
+    return solution.status is SolveStatus.INFEASIBLE
+
+
+def _deletion_filter(
+    num_rows: int,
+    labels: Sequence[str],
+    check: Callable[[list[int]], bool],
+    max_solves: int,
+    refine_limit: int,
+) -> tuple[list[int], int, bool] | None:
+    """Shared family-then-row deletion filter over abstract row indices.
+
+    ``check(keep)`` must return True iff the restriction to ``keep`` is
+    proven infeasible, and is charged against ``max_solves``.
+    """
+    solves = 0
+
+    def charged_check(keep: list[int]) -> bool:
+        nonlocal solves
+        solves += 1
+        return check(keep)
+
+    current = list(range(num_rows))
+    if not charged_check(current):
+        return None
+
+    # Family-level pass, in first-appearance order.
+    families: list[str] = []
+    rows_of: dict[str, list[int]] = {}
+    for i in range(num_rows):
+        family = constraint_family(labels[i], i)
+        if family not in rows_of:
+            rows_of[family] = []
+            families.append(family)
+        rows_of[family].append(i)
+
+    for family in families:
+        if solves >= max_solves:
+            break
+        drop = set(rows_of[family])
+        trial = [i for i in current if i not in drop]
+        if trial and charged_check(trial):
+            current = trial
+
+    # Per-constraint refinement.
+    minimal = False
+    if len(current) <= refine_limit:
+        minimal = True
+        for i in list(current):
+            if i not in current:
+                continue
+            if solves >= max_solves:
+                minimal = False
+                break
+            trial = [j for j in current if j != i]
+            if trial and charged_check(trial):
+                current = trial
+
+    return current, solves, minimal
+
+
+def iis_lite_form(
+    form: StandardForm,
+    is_infeasible: Callable[[StandardForm], bool] | None = None,
+    max_solves: int = 64,
+    refine_limit: int = 40,
+) -> IISResult | None:
+    """Deletion-filter an infeasible compiled form down to a core.
+
+    First drops whole constraint *families* (the row labels' prefixes),
+    then—if the survivor set is small—individual rows.  Each step keeps
+    a deletion only if the remainder is still infeasible, so the
+    returned subset is always jointly infeasible.
+
+    Args:
+        form: the compiled form to narrow.
+        is_infeasible: feasibility oracle over forms; defaults to
+            presolve + HiGHS in feasibility mode.  Must return True iff
+            proven infeasible.
+        max_solves: oracle-call budget (the filter degrades to a coarser
+            answer when exhausted, it never exceeds the budget).
+        refine_limit: skip the per-constraint pass when more rows than
+            this survive family filtering (keeps worst-case cost tame).
+
+    Returns:
+        The narrowed subset, or None when the form is not infeasible to
+        begin with (nothing to explain).
+    """
+    oracle = is_infeasible or _default_form_oracle
+    labels = [
+        form.row_labels[i] if form.row_labels is not None else ""
+        for i in range(form.num_rows)
+    ]
+    outcome = _deletion_filter(
+        form.num_rows,
+        labels,
+        lambda keep: oracle(_subform(form, keep)),
+        max_solves,
+        refine_limit,
+    )
+    if outcome is None:
+        return None
+    current, solves, minimal = outcome
+    names = [labels[i] or f"#{i}" for i in current]
+    kept_families = sorted({constraint_family(labels[i], i) for i in current})
+    return IISResult(
+        constraints=names,
+        families=kept_families,
+        solves=solves,
+        minimal=minimal,
+    )
 
 
 def _submodel(model: Model, keep: Sequence[int]) -> Model:
@@ -444,91 +612,37 @@ def _submodel(model: Model, keep: Sequence[int]) -> Model:
     return sub
 
 
-def _default_oracle(model: Model) -> bool:
-    """True when ``model`` is proven infeasible (presolve, then HiGHS)."""
-    from ..ilp.solve import solve
-    from ..ilp.status import SolveStatus
-
-    solution = solve(model, backend="highs", mip_rel_gap=1.0, use_presolve=True)
-    return solution.status is SolveStatus.INFEASIBLE
-
-
 def iis_lite(
     model: Model,
     is_infeasible: Callable[[Model], bool] | None = None,
     max_solves: int = 64,
     refine_limit: int = 40,
 ) -> IISResult | None:
-    """Deletion-filter an infeasible model down to a conflicting core.
+    """Model-level entry point; see :func:`iis_lite_form`.
 
-    First drops whole constraint *families* (named groups from the
-    formulation), then—if the survivor set is small—individual rows.
-    Each step keeps a deletion only if the remainder is still infeasible,
-    so the returned subset is always jointly infeasible.
-
-    Args:
-        model: the model to narrow.
-        is_infeasible: feasibility oracle; defaults to presolve + HiGHS
-            in feasibility mode.  Must return True iff proven infeasible.
-        max_solves: oracle-call budget (the filter degrades to a coarser
-            answer when exhausted, it never exceeds the budget).
-        refine_limit: skip the per-constraint pass when more rows than
-            this survive family filtering (keeps worst-case cost tame).
-
-    Returns:
-        The narrowed subset, or None when the model is not infeasible to
-        begin with (nothing to explain).
+    With the default oracle the model is compiled once and the filter
+    runs natively on the form; a custom model-based oracle keeps the
+    original submodel-per-check behavior.
     """
-    oracle = is_infeasible or _default_oracle
-    solves = 0
-
-    def check(keep: list[int]) -> bool:
-        nonlocal solves
-        solves += 1
-        return oracle(_submodel(model, keep))
-
-    current = list(range(len(model.constraints)))
-    if not check(current):
+    if is_infeasible is None:
+        return iis_lite_form(
+            compile_model(model),
+            max_solves=max_solves,
+            refine_limit=refine_limit,
+        )
+    labels = [c.name for c in model.constraints]
+    outcome = _deletion_filter(
+        len(labels),
+        labels,
+        lambda keep: is_infeasible(_submodel(model, keep)),
+        max_solves,
+        refine_limit,
+    )
+    if outcome is None:
         return None
-
-    # Family-level pass, in first-appearance order.
-    families: list[str] = []
-    rows_of: dict[str, list[int]] = {}
-    for i, constraint in enumerate(model.constraints):
-        family = constraint_family(constraint.name, i)
-        if family not in rows_of:
-            rows_of[family] = []
-            families.append(family)
-        rows_of[family].append(i)
-
-    for family in families:
-        if solves >= max_solves:
-            break
-        drop = set(rows_of[family])
-        trial = [i for i in current if i not in drop]
-        if trial and check(trial):
-            current = trial
-
-    # Per-constraint refinement.
-    minimal = False
-    if len(current) <= refine_limit:
-        minimal = True
-        for i in list(current):
-            if i not in current:
-                continue
-            if solves >= max_solves:
-                minimal = False
-                break
-            trial = [j for j in current if j != i]
-            if trial and check(trial):
-                current = trial
-
-    names = [
-        model.constraints[i].name or f"#{i}" for i in current
-    ]
-    kept_families = sorted({
-        constraint_family(model.constraints[i].name, i) for i in current
-    })
+    current, solves, minimal = outcome
+    names = [labels[i] or f"#{i}" for i in current]
+    kept_families = sorted({constraint_family(labels[i], i) for i in current})
     return IISResult(
         constraints=names,
         families=kept_families,

@@ -3,14 +3,29 @@
 A :class:`Model` owns variables, constraints and an objective.  It is
 backend-independent; ``repro.ilp.solve`` dispatches it to a concrete solver
 (HiGHS via SciPy, or the pure-Python branch-and-bound in ``repro.ilp.bnb``).
+
+Rows can be added through two surfaces:
+
+* the **legacy per-row API** (:meth:`Model.add` / :meth:`Model.add_terms`)
+  building one :class:`~repro.ilp.expr.Constraint` per row — convenient
+  for small hand-written models and kept object-for-object compatible;
+* the **block API** (:meth:`Model.add_var_block` /
+  :meth:`Model.add_rows`) from :mod:`repro.ilp.blocks`, which stores rows
+  directly as family-tagged sparse triplets and is what the CGRA
+  formulation builder emits through.
+
+Both populate the same ordered row sequence; ``compile_model`` lowers
+block rows with O(nnz) array concatenation and legacy rows with the
+original per-``LinExpr`` walk.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
+from .blocks import BlockEmitter, RowBlock, VarBlock
 from .expr import Constraint, LinExpr, Sense, Var, VarType
 
 
@@ -35,6 +50,21 @@ class ModelStats:
     num_nonzeros: int
 
 
+class _LegacySegment:
+    """A run of per-row constraints added through the legacy API."""
+
+    __slots__ = ("constraints",)
+
+    def __init__(self) -> None:
+        self.constraints: list[Constraint] = []
+
+
+def _default_var_name(family: str, key) -> str:
+    if isinstance(key, tuple):
+        return family + "".join(f"[{part}]" for part in key)
+    return f"{family}[{key}]"
+
+
 class Model:
     """A mixed-integer linear program."""
 
@@ -42,9 +72,15 @@ class Model:
         self.name = name
         self._vars: list[Var] = []
         self._var_names: dict[str, Var] = {}
-        self._constraints: list[Constraint] = []
+        self._var_blocks: list[VarBlock] = []
+        # Ordered row storage: legacy segments and row blocks interleave
+        # in creation order; global row order is segment order then
+        # within-segment emission order.
+        self._segments: list[RowBlock | _LegacySegment] = []
         self._objective: LinExpr = LinExpr()
         self._sense: str = ObjectiveSense.MINIMIZE
+        self._constraint_cache: tuple[Constraint, ...] | None = None
+        self._constraint_cache_rows: int = -1
 
     # ------------------------------------------------------------------
     # variables
@@ -83,6 +119,50 @@ class Model:
     def add_continuous(self, name: str, lb: float = 0.0, ub: float = math.inf) -> Var:
         return self.add_var(name, lb, ub, VarType.CONTINUOUS)
 
+    def add_var_block(
+        self,
+        family: str,
+        keys: Iterable,
+        lb: float = 0.0,
+        ub: float = 1.0,
+        vtype: VarType = VarType.BINARY,
+        name_fn=None,
+    ) -> tuple[VarBlock, list[Var]]:
+        """Create one variable per key as a named contiguous block.
+
+        Args:
+            family: block name; variable names default to
+                ``family[k0][k1]...`` for tuple keys, ``family[key]``
+                otherwise.
+            keys: per-variable keys, in emission order (must be
+                deterministic — the block records them for extraction).
+            lb/ub/vtype: shared domain (defaults to binary).
+            name_fn: optional ``(family, key) -> str`` naming override.
+
+        Returns:
+            The :class:`VarBlock` and the created variables in key order.
+        """
+        namer = name_fn or _default_var_name
+        start = len(self._vars)
+        created = [
+            self.add_var(namer(family, key), lb, ub, vtype) for key in keys
+        ]
+        block = VarBlock(
+            name=family,
+            start=start,
+            size=len(created),
+            vtype=vtype,
+            keys=tuple(keys) if not isinstance(keys, tuple) else keys,
+        )
+        # `keys` may be a one-shot iterable consumed by the comprehension;
+        # rebuild from the created variable names if so.
+        if len(block.keys) != len(created):
+            block = dataclasses.replace(
+                block, keys=tuple(v.name for v in created)
+            )
+        self._var_blocks.append(block)
+        return block, created
+
     def var(self, name: str) -> Var:
         try:
             return self._var_names[name]
@@ -96,9 +176,20 @@ class Model:
     def variables(self) -> tuple[Var, ...]:
         return tuple(self._vars)
 
+    @property
+    def var_blocks(self) -> tuple[VarBlock, ...]:
+        return tuple(self._var_blocks)
+
     # ------------------------------------------------------------------
     # constraints and objective
     # ------------------------------------------------------------------
+    def _legacy_segment(self) -> _LegacySegment:
+        if self._segments and isinstance(self._segments[-1], _LegacySegment):
+            return self._segments[-1]
+        segment = _LegacySegment()
+        self._segments.append(segment)
+        return segment
+
     def add(self, constraint: Constraint, name: str = "") -> Constraint:
         """Add a constraint built with expression comparison operators."""
         if not isinstance(constraint, Constraint):
@@ -108,7 +199,7 @@ class Model:
         self._check_ownership(constraint.expr)
         if name:
             constraint.name = name
-        self._constraints.append(constraint)
+        self._legacy_segment().constraints.append(constraint)
         return constraint
 
     def add_terms(
@@ -121,8 +212,21 @@ class Model:
         """Fast-path constraint construction from (var, coeff) pairs."""
         constraint = Constraint(LinExpr.from_terms(terms), sense, rhs, name)
         self._check_ownership(constraint.expr)
-        self._constraints.append(constraint)
+        self._legacy_segment().constraints.append(constraint)
         return constraint
+
+    def add_rows(self, family: str) -> BlockEmitter:
+        """Open a new family-tagged row block and return its emitter.
+
+        Rows appended through the emitter occupy the global row positions
+        following every row added before this call; interleave multiple
+        emitters only if that global order is intended.
+        """
+        if not family:
+            raise ModelError("row-block family must be non-empty")
+        block = RowBlock(family)
+        self._segments.append(block)
+        return BlockEmitter(block, lambda: len(self._vars))
 
     def _check_ownership(self, expr: LinExpr) -> None:
         for var in expr.variables():
@@ -132,14 +236,77 @@ class Model:
                 )
 
     @property
+    def row_segments(self) -> tuple:
+        """The ordered row storage (legacy segments and row blocks)."""
+        return tuple(self._segments)
+
+    @property
+    def num_constraints(self) -> int:
+        return sum(
+            len(seg.constraints) if isinstance(seg, _LegacySegment) else seg.num_rows
+            for seg in self._segments
+        )
+
+    def _materialize(self, block: RowBlock) -> list[Constraint]:
+        """Build Constraint views of a row block (for legacy consumers)."""
+        constraints = []
+        for row in range(block.num_rows):
+            lo, hi = block.indptr[row], block.indptr[row + 1]
+            refs = {c: self._vars[c] for c in block.cols[lo:hi]}
+            expr = LinExpr(
+                dict(zip(block.cols[lo:hi], block.data[lo:hi])), 0.0, refs
+            )
+            sense, rhs = block.row_sense_rhs(row)
+            constraints.append(Constraint(expr, sense, rhs, block.labels[row]))
+        return constraints
+
+    @property
     def constraints(self) -> tuple[Constraint, ...]:
-        return tuple(self._constraints)
+        num_rows = self.num_constraints
+        if (
+            self._constraint_cache is None
+            or self._constraint_cache_rows != num_rows
+        ):
+            rows: list[Constraint] = []
+            for segment in self._segments:
+                if isinstance(segment, _LegacySegment):
+                    rows.extend(segment.constraints)
+                else:
+                    rows.extend(self._materialize(segment))
+            self._constraint_cache = tuple(rows)
+            self._constraint_cache_rows = num_rows
+        return self._constraint_cache
+
+    def row_labels(self) -> list[str]:
+        """Per-row diagnostic labels in global row order."""
+        labels: list[str] = []
+        for segment in self._segments:
+            if isinstance(segment, _LegacySegment):
+                labels.extend(c.name for c in segment.constraints)
+            else:
+                labels.extend(segment.labels)
+        return labels
 
     def minimize(self, expr: LinExpr | Var | float) -> None:
         self._set_objective(expr, ObjectiveSense.MINIMIZE)
 
     def maximize(self, expr: LinExpr | Var | float) -> None:
         self._set_objective(expr, ObjectiveSense.MAXIMIZE)
+
+    def set_objective_terms(
+        self,
+        cols: Sequence[int],
+        coefs: Sequence[float],
+        constant: float = 0.0,
+        maximize: bool = False,
+    ) -> None:
+        """Block-style objective: parallel index/coefficient arrays."""
+        refs = {c: self._vars[c] for c in cols}
+        expr = LinExpr(dict(zip(cols, coefs)), constant, refs)
+        self._set_objective(
+            expr,
+            ObjectiveSense.MAXIMIZE if maximize else ObjectiveSense.MINIMIZE,
+        )
 
     def _set_objective(self, expr, sense: str) -> None:
         if isinstance(expr, Var):
@@ -164,7 +331,12 @@ class Model:
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> ModelStats:
-        nnz = sum(len(c.expr.terms) for c in self._constraints)
+        nnz = 0
+        for segment in self._segments:
+            if isinstance(segment, _LegacySegment):
+                nnz += sum(len(c.expr.terms) for c in segment.constraints)
+            else:
+                nnz += segment.num_nonzeros
         by_type = {t: 0 for t in VarType}
         for var in self._vars:
             by_type[var.vtype] += 1
@@ -173,7 +345,7 @@ class Model:
             num_binary=by_type[VarType.BINARY],
             num_integer=by_type[VarType.INTEGER],
             num_continuous=by_type[VarType.CONTINUOUS],
-            num_constraints=len(self._constraints),
+            num_constraints=self.num_constraints,
             num_nonzeros=nnz,
         )
 
@@ -186,10 +358,29 @@ class Model:
                 violations.append(f"bound violation on {var.name}: {val}")
             if var.vtype is not VarType.CONTINUOUS and abs(val - round(val)) > tol:
                 violations.append(f"integrality violation on {var.name}: {val}")
-        for i, constraint in enumerate(self._constraints):
-            if not constraint.is_satisfied(values, tol):
-                label = constraint.name or f"#{i}"
-                violations.append(f"constraint {label} violated")
+        row = 0
+        for segment in self._segments:
+            if isinstance(segment, _LegacySegment):
+                for constraint in segment.constraints:
+                    if not constraint.is_satisfied(values, tol):
+                        label = constraint.name or f"#{row}"
+                        violations.append(f"constraint {label} violated")
+                    row += 1
+            else:
+                for local in range(segment.num_rows):
+                    lo, hi = segment.indptr[local], segment.indptr[local + 1]
+                    lhs = sum(
+                        coeff * values.get(col, 0.0)
+                        for col, coeff in zip(
+                            segment.cols[lo:hi], segment.data[lo:hi]
+                        )
+                    )
+                    if not (
+                        segment.lb[local] - tol <= lhs <= segment.ub[local] + tol
+                    ):
+                        label = segment.labels[local] or f"#{row}"
+                        violations.append(f"constraint {label} violated")
+                    row += 1
         return violations
 
     def objective_value(self, values: dict[int, float]) -> float:

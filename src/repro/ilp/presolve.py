@@ -1,4 +1,4 @@
-"""Lightweight presolve for MILP models.
+"""Lightweight presolve, operating natively on :class:`StandardForm`.
 
 Implements the reductions that matter for the CGRA mapping formulation,
 where many binaries are fixed by legality constraints (constraint (3) of
@@ -10,8 +10,12 @@ the paper emits ``F_{p,q} = 0`` rows):
 * **forcing rows**: a ``<= 0`` (or ``== 0``) row whose coefficients are all
   positive over nonnegative variables fixes all of them to zero.
 
-Reductions iterate to a fixed point.  The result maps back to the original
-variable space so callers never see the reduced model's indices.
+Reductions iterate to a fixed point.  :func:`presolve_form` is the core:
+it screens candidate rows with vectorized activity arithmetic (one sparse
+matvec per round for fixed-variable contributions, one pattern matvec for
+per-row live-variable counts) and only walks the flagged rows in Python.
+:func:`presolve` wraps it for `Model` callers, rebuilding a reduced model
+from the reduced form so the original API is unchanged.
 """
 
 from __future__ import annotations
@@ -19,14 +23,173 @@ from __future__ import annotations
 import dataclasses
 import math
 
-from .expr import Sense, VarType
+import numpy as np
+from scipy import sparse
+
+from .expr import LinExpr, Sense, VarType
 from .model import Model
+from .standard_form import StandardForm, compile_model
 from .status import Solution, SolveStatus
+
+_TOL = 1e-9
+
+
+@dataclasses.dataclass
+class FormPresolveResult:
+    """Outcome of presolving a compiled form.
+
+    Attributes:
+        form: reduced form (None when presolve proved infeasibility).
+            Its ``c0`` absorbs the fixed variables' objective
+            contribution, so ``report_objective`` on a reduced-space
+            solution already reports the original objective.
+        fixed: original-var-index -> value for substituted variables.
+        index_map: reduced-var-index -> original-var-index.
+        row_map: reduced-row-index -> original-row-index.
+        infeasible: True when presolve proved infeasibility.
+    """
+
+    form: StandardForm | None
+    fixed: dict[int, float]
+    index_map: np.ndarray
+    row_map: np.ndarray
+    infeasible: bool
+
+    def lift(self, solution: Solution) -> Solution:
+        """Translate a reduced-space solution back to the original space."""
+        if not solution.status.has_solution:
+            return solution
+        values = dict(self.fixed)
+        for reduced_idx, value in solution.values.items():
+            values[int(self.index_map[reduced_idx])] = value
+        return dataclasses.replace(solution, values=values)
+
+
+def presolve_form(form: StandardForm, max_rounds: int = 25) -> FormPresolveResult:
+    """Apply reductions to a compiled form until fixed point."""
+    num_rows, num_vars = form.num_rows, form.num_vars
+    lb = form.var_lb.astype(float, copy=True)
+    ub = form.var_ub.astype(float, copy=True)
+    is_int = form.integrality != 0
+    a = form.A
+    # Pattern matrix for live-variable counts (coefficients are nonzero
+    # by construction — both emission paths drop exact zeros).
+    pattern = sparse.csr_matrix(
+        (np.ones_like(a.data), a.indices, a.indptr), shape=a.shape
+    )
+    active = np.ones(num_rows, dtype=bool)
+
+    def tighten(idx: int, new_lb: float, new_ub: float) -> bool:
+        """Returns False on empty domain; ±inf bounds are no-ops."""
+        if new_lb > lb[idx]:
+            lb[idx] = math.ceil(new_lb - _TOL) if is_int[idx] else new_lb
+        if new_ub < ub[idx]:
+            ub[idx] = math.floor(new_ub + _TOL) if is_int[idx] else new_ub
+        return lb[idx] <= ub[idx] + 1e-12
+
+    infeasible = False
+    for _ in range(max_rounds):
+        fixed_mask = lb == ub
+        const = a @ np.where(fixed_mask, lb, 0.0)
+        live = pattern @ (~fixed_mask).astype(float)
+        adj_lb = form.row_lb - const
+        adj_ub = form.row_ub - const
+
+        # Vectorized candidate screens; only flagged rows are walked.
+        empty_rows = np.flatnonzero(active & (live < 0.5))
+        singleton_rows = np.flatnonzero(active & (live > 0.5) & (live < 1.5))
+        forcing_rows = np.flatnonzero(
+            active & (live >= 1.5) & np.isfinite(adj_ub) & (adj_ub <= 1e-12)
+        )
+        changed = False
+
+        for r in empty_rows:
+            if not (adj_lb[r] <= _TOL and adj_ub[r] >= -_TOL):
+                infeasible = True
+            active[r] = False
+            changed = True
+        if infeasible:
+            break
+
+        for r in singleton_rows:
+            span = slice(a.indptr[r], a.indptr[r + 1])
+            for col, coeff in zip(a.indices[span], a.data[span]):
+                if not fixed_mask[col]:
+                    break
+            else:  # pragma: no cover - live count guarantees a hit
+                continue
+            lo, hi = adj_lb[r] / coeff, adj_ub[r] / coeff
+            if coeff < 0:
+                lo, hi = hi, lo
+            if not tighten(int(col), lo, hi):
+                infeasible = True
+            active[r] = False
+            changed = True
+        if infeasible:
+            break
+
+        for r in forcing_rows:
+            span = slice(a.indptr[r], a.indptr[r + 1])
+            cols = a.indices[span]
+            unfixed = cols[~fixed_mask[cols]]
+            if np.any(a.data[span][~fixed_mask[cols]] <= 0.0):
+                continue
+            if np.any(lb[unfixed] < 0.0):
+                continue
+            # All-positive row over nonnegative vars: the row minimum is
+            # zero, so a negative rhs is unsatisfiable; rhs == 0 forces
+            # every variable to zero.
+            if adj_ub[r] < -_TOL:
+                infeasible = True
+            elif not all(tighten(int(col), -math.inf, 0.0) for col in unfixed):
+                infeasible = True
+            active[r] = False
+            changed = True
+        if infeasible or not changed:
+            break
+
+    if infeasible:
+        return FormPresolveResult(
+            None, {}, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), True
+        )
+
+    fixed_mask = lb == ub
+    fixed = {int(i): float(lb[i]) for i in np.flatnonzero(fixed_mask)}
+    keep_cols = np.flatnonzero(~fixed_mask)
+    keep_rows = np.flatnonzero(active)
+    const = a @ np.where(fixed_mask, lb, 0.0)
+
+    reduced_a = a[keep_rows][:, keep_cols].tocsr()
+    reduced_a.sort_indices()
+    reduced = StandardForm(
+        c=form.c[keep_cols],
+        c0=form.c0 + float(form.c @ np.where(fixed_mask, lb, 0.0)),
+        A=reduced_a,
+        row_lb=form.row_lb[keep_rows] - const[keep_rows],
+        row_ub=form.row_ub[keep_rows] - const[keep_rows],
+        var_lb=lb[keep_cols],
+        var_ub=ub[keep_cols],
+        integrality=form.integrality[keep_cols],
+        maximize=form.maximize,
+        name=f"{form.name}.presolved" if form.name else "presolved",
+        row_labels=(
+            tuple(form.row_labels[int(r)] for r in keep_rows)
+            if form.row_labels is not None
+            else None
+        ),
+        var_names=(
+            tuple(form.var_names[int(j)] for j in keep_cols)
+            if form.var_names is not None
+            else None
+        ),
+        blocks=None,  # row removal invalidates the contiguous block spans
+    )
+    return FormPresolveResult(reduced, fixed, keep_cols, keep_rows, False)
 
 
 @dataclasses.dataclass
 class PresolveResult:
-    """Outcome of presolving a model.
+    """Outcome of presolving a model (compatibility wrapper).
 
     Attributes:
         model: reduced model (None when presolve already decided the
@@ -34,7 +197,8 @@ class PresolveResult:
         fixed: original-var-index -> value for substituted variables.
         index_map: reduced-var-index -> original-var-index.
         infeasible: True when presolve proved infeasibility.
-        objective_offset: constant contributed by fixed variables.
+        objective_offset: constant contributed by fixed variables
+            (in the model's own objective sense).
     """
 
     model: Model | None
@@ -56,122 +220,67 @@ class PresolveResult:
         return dataclasses.replace(solution, values=values, objective=objective)
 
 
+def _sense_of(row_lb: float, row_ub: float) -> tuple[Sense, float]:
+    if row_lb == row_ub:
+        return Sense.EQ, row_ub
+    if math.isinf(row_lb):
+        return Sense.LE, row_ub
+    return Sense.GE, row_lb
+
+
 def presolve(model: Model, max_rounds: int = 25) -> PresolveResult:
-    """Apply reductions until fixed point; see module docstring."""
-    lb = {v.index: v.lb for v in model.variables}
-    ub = {v.index: v.ub for v in model.variables}
-    is_int = {
-        v.index: v.vtype is not VarType.CONTINUOUS for v in model.variables
-    }
-    # Active rows as (terms dict, sense, rhs, name); terms over original idx.
-    rows = [
-        (dict(c.expr.terms), c.sense, c.rhs, c.name) for c in model.constraints
-    ]
-
-    def tighten(idx: int, new_lb: float | None, new_ub: float | None) -> bool:
-        """Returns False on empty domain."""
-        if new_lb is not None and new_lb > lb[idx]:
-            lb[idx] = math.ceil(new_lb - 1e-9) if is_int[idx] else new_lb
-        if new_ub is not None and new_ub < ub[idx]:
-            ub[idx] = math.floor(new_ub + 1e-9) if is_int[idx] else new_ub
-        return lb[idx] <= ub[idx] + 1e-12
-
-    infeasible = False
-    for _ in range(max_rounds):
-        changed = False
-        remaining = []
-        for terms, sense, rhs, name in rows:
-            live = {i: c for i, c in terms.items() if c != 0.0 and lb[i] != ub[i]}
-            const = sum(c * lb[i] for i, c in terms.items() if lb[i] == ub[i] and c != 0.0)
-            adj_rhs = rhs - const
-            if not live:
-                ok = (
-                    (sense is Sense.LE and 0 <= adj_rhs + 1e-9)
-                    or (sense is Sense.GE and 0 >= adj_rhs - 1e-9)
-                    or (sense is Sense.EQ and abs(adj_rhs) <= 1e-9)
-                )
-                if not ok:
-                    infeasible = True
-                changed = True
-                continue
-            if len(live) == 1:
-                ((idx, coeff),) = live.items()
-                bound = adj_rhs / coeff
-                if sense is Sense.EQ:
-                    ok = tighten(idx, bound, bound)
-                elif (sense is Sense.LE) == (coeff > 0):
-                    ok = tighten(idx, None, bound)
-                else:
-                    ok = tighten(idx, bound, None)
-                if not ok:
-                    infeasible = True
-                changed = True
-                continue
-            if (
-                sense in (Sense.LE, Sense.EQ)
-                and adj_rhs <= 1e-12
-                and all(c > 0 for c in live.values())
-                and all(lb[i] >= 0 for i in live)
-            ):
-                # All-positive row over nonnegative vars: the row minimum is
-                # zero, so a negative rhs is unsatisfiable; rhs == 0 forces
-                # every variable to zero.
-                if adj_rhs < -1e-9:
-                    infeasible = True
-                    changed = True
-                    continue
-                ok = all(tighten(i, None, 0.0) for i in live)
-                if not ok:
-                    infeasible = True
-                changed = True
-                continue
-            remaining.append((terms, sense, rhs, name))
-        rows = remaining
-        if infeasible or not changed:
-            break
-
-    if infeasible:
+    """Presolve a model: compile, reduce the form, rebuild a reduced model."""
+    form = compile_model(model)
+    result = presolve_form(form, max_rounds=max_rounds)
+    if result.infeasible:
         return PresolveResult(None, {}, {}, True, 0.0)
+    reduced_form = result.form
+    assert reduced_form is not None
 
-    fixed = {i: lb[i] for i in lb if lb[i] == ub[i]}
+    original_vars = model.variables
     reduced = Model(f"{model.name}.presolved")
     index_map: dict[int, int] = {}
-    reverse: dict[int, int] = {}
-    for var in model.variables:
-        if var.index in fixed:
-            continue
-        new_var = reduced.add_var(var.name, lb[var.index], ub[var.index], var.vtype)
-        index_map[new_var.index] = var.index
-        reverse[var.index] = new_var.index
+    for new_idx, orig_idx in enumerate(result.index_map):
+        orig = original_vars[int(orig_idx)]
+        new_var = reduced.add_var(
+            orig.name,
+            float(reduced_form.var_lb[new_idx]),
+            float(reduced_form.var_ub[new_idx]),
+            orig.vtype,
+        )
+        index_map[new_var.index] = int(orig_idx)
 
-    for terms, sense, rhs, name in rows:
-        const = sum(c * fixed[i] for i, c in terms.items() if i in fixed)
+    ra = reduced_form.A
+    for r in range(reduced_form.num_rows):
+        span = slice(ra.indptr[r], ra.indptr[r + 1])
         pairs = [
-            (reduced.variables[reverse[i]], c)
-            for i, c in terms.items()
-            if i not in fixed and c != 0.0
+            (reduced.variables[int(col)], float(coeff))
+            for col, coeff in zip(ra.indices[span], ra.data[span])
         ]
-        reduced.add_terms(pairs, sense, rhs - const, name)
+        sense, rhs = _sense_of(
+            float(reduced_form.row_lb[r]), float(reduced_form.row_ub[r])
+        )
+        name = reduced_form.row_labels[r] if reduced_form.row_labels else ""
+        reduced.add_terms(pairs, sense, rhs, name)
 
-    offset = sum(
-        coeff * fixed[i]
-        for i, coeff in model.objective.terms.items()
-        if i in fixed
-    ) + model.objective.constant
+    # Reduced-form c is in min space; un-negate for a maximizing model.
+    sign = -1.0 if form.maximize else 1.0
     obj_pairs = [
-        (reduced.variables[reverse[i]], coeff)
-        for i, coeff in model.objective.terms.items()
-        if i not in fixed
+        (reduced.variables[j], sign * float(coeff))
+        for j, coeff in enumerate(reduced_form.c)
+        if coeff != 0.0
     ]
-    from .expr import LinExpr  # local import to avoid cycle at module load
-
     objective = LinExpr.from_terms(obj_pairs)
     if model.objective_sense == "max":
         reduced.maximize(objective)
     else:
         reduced.minimize(objective)
 
-    return PresolveResult(reduced, fixed, index_map, False, offset)
+    # The reduced model's objective has no constant: the form's c0 (fixed
+    # contribution + original constant) becomes the lift offset, reported
+    # in the model's own sense.
+    offset = sign * reduced_form.c0
+    return PresolveResult(reduced, result.fixed, index_map, False, offset)
 
 
 def solve_with_presolve(model: Model, solve_fn) -> Solution:
@@ -200,3 +309,28 @@ def solve_with_presolve(model: Model, solve_fn) -> Solution:
         )
     solution = solve_fn(result.model)
     return result.lift(solution)
+
+
+def solve_form_with_presolve(form: StandardForm, solve_fn) -> Solution:
+    """Form-level analogue of :func:`solve_with_presolve`.
+
+    ``solve_fn`` receives the reduced form; its reported objective is
+    already in original terms because the reduced ``c0`` absorbs the
+    fixed variables' contribution.
+    """
+    result = presolve_form(form)
+    if result.infeasible:
+        return Solution(status=SolveStatus.INFEASIBLE, backend="presolve",
+                        message="proven infeasible in presolve")
+    reduced = result.form
+    assert reduced is not None
+    if reduced.num_vars == 0:
+        return result.lift(
+            Solution(
+                status=SolveStatus.OPTIMAL,
+                objective=reduced.report_objective(0.0),
+                backend="presolve",
+                message="fully solved in presolve",
+            )
+        )
+    return result.lift(solve_fn(reduced))

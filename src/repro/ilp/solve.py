@@ -1,11 +1,12 @@
-"""Backend dispatch for solving ILP models."""
+"""Backend dispatch for solving ILP models and compiled forms."""
 
 from __future__ import annotations
 
-from .bnb import solve_bnb
-from .highs_backend import solve_highs
+from .bnb import solve_bnb, solve_bnb_form
+from .highs_backend import solve_highs, solve_highs_form
 from .model import Model
-from .presolve import solve_with_presolve
+from .presolve import solve_form_with_presolve, solve_with_presolve
+from .standard_form import StandardForm
 from .status import Solution
 
 BACKENDS = ("highs", "bnb")
@@ -53,3 +54,40 @@ def solve(
     if use_presolve:
         return solve_with_presolve(model, run)
     return run(model)
+
+
+def solve_form(
+    form: StandardForm,
+    backend: str = "highs",
+    time_limit: float | None = None,
+    mip_rel_gap: float | None = None,
+    node_limit: int | None = None,
+    use_presolve: bool = False,
+) -> Solution:
+    """Solve an already-compiled :class:`StandardForm`.
+
+    The mapper pipeline compiles once and reuses the form across the
+    audit and (portfolio) backend stages, so this is the hot entry point;
+    :func:`solve` remains the convenience wrapper for model callers.
+    Arguments match :func:`solve`.
+
+    Raises:
+        ValueError: for an unknown backend name.
+    """
+    if backend == "highs":
+        def run(f: StandardForm) -> Solution:
+            return solve_highs_form(
+                f,
+                time_limit=time_limit,
+                mip_rel_gap=mip_rel_gap,
+                node_limit=node_limit,
+            )
+    elif backend == "bnb":
+        def run(f: StandardForm) -> Solution:
+            return solve_bnb_form(f, time_limit=time_limit, node_limit=node_limit)
+    else:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+    if use_presolve:
+        return solve_form_with_presolve(form, run)
+    return run(form)

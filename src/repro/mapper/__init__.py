@@ -8,6 +8,7 @@ from .ilp_mapper import (
     Formulation,
     ILPMapper,
     ILPMapperOptions,
+    RouteReachCache,
     build_formulation,
     extract_mapping,
 )
@@ -16,6 +17,7 @@ from .router import RoutingResult, route_all
 from .simulate import FabricSimulator, SimTrace, SimulationError, simulate_mapping
 from .sa_mapper import SAMapper, SAMapperOptions
 from .search import IISearchResult, find_min_ii
+from .sweep import FormulationCache, IISweep, SweepAttempt
 from .serialize import (
     MappingFormatError,
     load_mapping,
@@ -30,9 +32,11 @@ __all__ = [
     "Configuration",
     "FabricSimulator",
     "Formulation",
+    "FormulationCache",
     "GreedyMapper",
     "GreedyMapperOptions",
     "IISearchResult",
+    "IISweep",
     "ILPMapper",
     "ILPMapperOptions",
     "MapResult",
@@ -40,10 +44,12 @@ __all__ = [
     "Mapper",
     "Mapping",
     "MappingFormatError",
+    "RouteReachCache",
     "RoutingResult",
     "SAMapper",
     "SAMapperOptions",
     "SimTrace",
+    "SweepAttempt",
     "SimulationError",
     "assert_legal",
     "build_formulation",

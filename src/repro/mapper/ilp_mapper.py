@@ -27,6 +27,15 @@ Implementation notes:
 * ``split_sub_values=False`` reproduces the paper's Example 3 strawman
   (routing whole values instead of sub-values) — an unsound formulation
   whose wrong mappings our independent verifier catches.
+* Rows are emitted through the blockwise API (``Model.add_rows``) by
+  default, grouped per constraint family, so compilation to
+  ``StandardForm`` is O(nnz) array assembly; ``use_blocks=False``
+  reproduces the per-``LinExpr`` pre-refactor path (the formulation is
+  identical up to a row permutation — ``scripts/bench_formulation.py``
+  measures the difference).
+* The mapper pipeline compiles once and runs audit and solve on the
+  compiled form; a :class:`~repro.mapper.sweep.FormulationCache` lets
+  II sweeps and portfolio stages share the built+compiled formulation.
 """
 
 from __future__ import annotations
@@ -36,12 +45,13 @@ import time
 from collections import deque
 from collections.abc import Callable
 
-from ..analyze.model_audit import audit_model, first_witness
+from ..analyze.model_audit import audit_form, first_witness
 from ..dfg.graph import DFG, Sink
 from ..dfg.validate import assert_valid
 from ..ilp.expr import Sense, Var
 from ..ilp.model import Model
-from ..ilp.solve import solve
+from ..ilp.solve import solve_form
+from ..ilp.standard_form import StandardForm, compile_model
 from ..ilp.status import Solution, SolveStatus
 from ..mrrg.graph import MRRG, MRRGNode
 from .base import Mapper, MapResult, MapStatus
@@ -70,6 +80,10 @@ class ILPMapperOptions:
             2's self-reinforcing loop pathology.
         explicit_legality: also emit paper constraint (3) as explicit
             ``F = 0`` rows over the full (p, q) grid.
+        use_blocks: emit constraint rows through the blockwise API
+            (compiled O(nnz) lowering).  False keeps the legacy
+            per-``LinExpr`` emission — same formulation modulo row
+            order, preserved for benchmarking and equivalence tests.
         mip_rel_gap: relative gap stop for HiGHS (e.g. 1.0 to accept the
             first incumbent when only feasibility matters).
         use_presolve: run ``repro.ilp.presolve`` before the backend.
@@ -90,6 +104,7 @@ class ILPMapperOptions:
     split_sub_values: bool = True
     mux_exclusivity: bool = True
     explicit_legality: bool = False
+    use_blocks: bool = True
     mip_rel_gap: float | None = None
     use_presolve: bool = False
     verify_result: bool = True
@@ -102,6 +117,69 @@ class ILPMapperOptions:
             raise ValueError(f"unknown operand_mode {self.operand_mode!r}")
         if self.objective == "weighted" and self.node_weights is None:
             raise ValueError("weighted objective requires node_weights")
+
+    def formulation_key(self) -> tuple:
+        """The options that determine the emitted formulation.
+
+        Two option sets with equal keys produce the same model for a
+        given (DFG, MRRG) — the solver/budget knobs are excluded — so
+        this is the cache key component used by
+        :class:`~repro.mapper.sweep.FormulationCache`.
+        """
+        return (
+            self.objective,
+            id(self.node_weights) if self.node_weights is not None else None,
+            self.operand_mode,
+            self.collapse_single_sink,
+            self.split_sub_values,
+            self.mux_exclusivity,
+            self.explicit_legality,
+            self.use_blocks,
+        )
+
+
+class RouteReachCache:
+    """Memoized forward/backward route reachability over one MRRG.
+
+    Within one formulation build, every producer whose candidate units
+    share output ports issues the same BFS; across builds on the same
+    MRRG (portfolio stages, repeated service jobs) the sets are reused
+    outright.  Keys are ``frozenset`` of start node ids — the BFS result
+    depends only on the start *set*, never on iteration order.
+    """
+
+    def __init__(self, mrrg: MRRG):
+        self.mrrg = mrrg
+        self._forward: dict[frozenset[str], set[str]] = {}
+        self._backward: dict[frozenset[str], set[str]] = {}
+
+    def forward(self, starts: set[str]) -> set[str]:
+        key = frozenset(starts)
+        cached = self._forward.get(key)
+        if cached is None:
+            cached = _route_reach(starts, self.mrrg.route_fanouts)
+            self._forward[key] = cached
+        return cached
+
+    def backward(self, starts: set[str]) -> set[str]:
+        key = frozenset(starts)
+        cached = self._backward.get(key)
+        if cached is None:
+            cached = _route_reach(starts, self.mrrg.route_fanins)
+            self._backward[key] = cached
+        return cached
+
+
+def _route_reach(starts: set[str], neighbors) -> set[str]:
+    seen = set(starts)
+    queue = deque(starts)
+    while queue:
+        current = queue.popleft()
+        for nxt in neighbors(current):
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return seen
 
 
 @dataclasses.dataclass
@@ -127,16 +205,53 @@ class Formulation:
             "f_vars": len(self.f_vars),
             "r_vars": len(self.r_vars),
             "r3_vars_distinct": len(distinct_r3),
-            "constraints": len(self.model.constraints),
+            "constraints": self.model.num_constraints,
         }
 
 
+class _BlockWriter:
+    """Hands out block emitters, one fresh block per family switch.
+
+    A new block is opened whenever the constraint family changes, so the
+    global row order is *identical* to the legacy per-``LinExpr`` path —
+    the compiled :class:`StandardForm` matches byte for byte, which keeps
+    solver behaviour (and therefore chosen mappings) unchanged while the
+    emission itself becomes O(nnz) array appends.
+    """
+
+    __slots__ = ("_model", "_family", "_emitter")
+
+    def __init__(self, model: Model):
+        self._model = model
+        self._family: str | None = None
+        self._emitter = None
+
+    def __call__(self, family: str):
+        if family != self._family:
+            self._emitter = self._model.add_rows(family)
+            self._family = family
+        return self._emitter
+
+
 def build_formulation(
-    dfg: DFG, mrrg: MRRG, options: ILPMapperOptions | None = None
+    dfg: DFG,
+    mrrg: MRRG,
+    options: ILPMapperOptions | None = None,
+    reach_cache: RouteReachCache | None = None,
 ) -> Formulation:
-    """Construct the ILP of paper section 4 for (dfg, mrrg)."""
+    """Construct the ILP of paper section 4 for (dfg, mrrg).
+
+    Args:
+        dfg/mrrg: the mapping instance.
+        options: formulation knobs (fresh defaults when omitted).
+        reach_cache: optional memoized reachability over ``mrrg`` —
+            pass one shared instance when building repeatedly on the
+            same MRRG (the II-sweep engine does).
+    """
     options = options or ILPMapperOptions()
     assert_valid(dfg)
+    if reach_cache is None:
+        reach_cache = RouteReachCache(mrrg)
     model = Model(f"map_{dfg.name}_onto_{mrrg.name}")
     empty = Formulation(model, {}, {}, {}, {})
 
@@ -166,24 +281,24 @@ def build_formulation(
     # Legal terminal ports per sub-value (DESIGN.md 5.1/5.2).
     terminal_ports: dict[tuple[str, Sink], dict[str, str]] = {}
     for producer, sinks in sinks_of.items():
-        for sink in sinks:
-            op = dfg.op(sink.op)
+        for snk in sinks:
+            op = dfg.op(snk.op)
             allow_swap = (
                 options.operand_mode == "commutative"
                 and op.opcode.is_commutative
                 and op.opcode.arity == 2
             )
             ports: dict[str, str] = {}  # port node id -> owning FU node id
-            for fu in candidates[sink.op]:
+            for fu in candidates[snk.op]:
                 if allow_swap:
                     for pid in fu.operand_ports.values():
                         ports[pid] = fu.node_id
                 else:
-                    ports[fu.operand_ports[sink.operand]] = fu.node_id
+                    ports[fu.operand_ports[snk.operand]] = fu.node_id
             if not ports:
-                empty.infeasible_reason = f"no legal terminal for sub-value {sink}"
+                empty.infeasible_reason = f"no legal terminal for sub-value {snk}"
                 return empty
-            terminal_ports[(producer, sink)] = ports
+            terminal_ports[(producer, snk)] = ports
 
     # ------------------------------------------------------------------
     # Per-value usable-node analysis (variable pruning).
@@ -191,82 +306,431 @@ def build_formulation(
     out_sets: dict[str, set[str]] = {}
     for producer in sinks_of:
         starts = {fu.output for fu in candidates[producer] if fu.output}
-        out_sets[producer] = _forward_route_reach(mrrg, starts)
+        out_sets[producer] = reach_cache.forward(starts)
 
     usable3: dict[tuple[str, Sink], set[str]] = {}
     usable: dict[str, set[str]] = {}
     for producer, sinks in sinks_of.items():
         union: set[str] = set()
-        for sink in sinks:
-            bwd = _backward_route_reach(
-                mrrg, set(terminal_ports[(producer, sink)])
-            )
+        for snk in sinks:
+            bwd = reach_cache.backward(set(terminal_ports[(producer, snk)]))
             reach = out_sets[producer] & bwd
             if not reach:
                 empty.infeasible_reason = (
-                    f"no routing path can deliver value {producer!r} to {sink}"
+                    f"no routing path can deliver value {producer!r} to {snk}"
                 )
                 return empty
-            usable3[(producer, sink)] = reach
+            usable3[(producer, snk)] = reach
             union |= reach
         usable[producer] = union
 
     # ------------------------------------------------------------------
-    # Variables.
+    # Variables: named contiguous blocks per family (F, R, R3).
     # ------------------------------------------------------------------
-    f_vars: dict[tuple[str, str], Var] = {}
+    f_keys: list[tuple[str, str]] = []
+    f_group_pos: dict[str, int] = {}  # op name -> offset of its first F var
     for op_name, fus in candidates.items():
-        for fu in fus:
-            f_vars[(fu.node_id, op_name)] = model.add_binary(
-                f"F[{fu.node_id}][{op_name}]"
-            )
+        f_group_pos[op_name] = len(f_keys)
+        f_keys.extend((fu.node_id, op_name) for fu in fus)
+    f_block, f_list = model.add_var_block("F", f_keys)
+    f_vars: dict[tuple[str, str], Var] = dict(zip(f_keys, f_list))
 
     if options.explicit_legality:
         # Paper constraint (3) in explicit form over the full grid.
+        legality = _BlockWriter(model) if options.use_blocks else None
         for op in dfg.ops:
             legal = {fu.node_id for fu in candidates[op.name]}
             for fu in mrrg.function_nodes():
                 if fu.node_id in legal:
                     continue
                 var = model.add_binary(f"F[{fu.node_id}][{op.name}]")
-                model.add_terms([(var, 1.0)], Sense.EQ, 0.0, name="fu_legality")
+                if legality is not None:
+                    legality("fu_legality").sorted_row(
+                        (var.index,), (1.0,), Sense.EQ, 0.0, "fu_legality"
+                    )
+                else:
+                    model.add_terms([(var, 1.0)], Sense.EQ, 0.0, "fu_legality")
                 f_vars[(fu.node_id, op.name)] = var
 
     # Emission order note: `usable`/`usable3`/`reach` are plain sets, and
     # variable/constraint order is part of the model identity (solver
     # search paths and cache fingerprints depend on it) — every set-typed
     # collection MUST be sorted before emitting variables or constraints.
-    r_vars: dict[tuple[str, str], Var] = {}
-    for producer, nodes in usable.items():
-        for node_id in sorted(nodes):
-            r_vars[(node_id, producer)] = model.add_binary(
-                f"R[{node_id}][{producer}]"
-            )
+    sorted_u3 = {key: sorted(nodes) for key, nodes in usable3.items()}
+    sorted_union = {producer: sorted(nodes) for producer, nodes in usable.items()}
 
-    r3_vars: dict[tuple[str, str, Sink], Var] = {}
+    r_keys = [
+        (node_id, producer)
+        for producer, nodes in sorted_union.items()
+        for node_id in nodes
+    ]
+    r_block, r_list = model.add_var_block("R", r_keys)
+    r_vars: dict[tuple[str, str], Var] = dict(zip(r_keys, r_list))
+
+    shared_of: dict[str, bool] = {}
+    r3_keys: list[tuple[str, str, Sink]] = []
     for producer, sinks in sinks_of.items():
         shared = (not options.split_sub_values) or (
             len(sinks) == 1 and options.collapse_single_sink
         )
-        for sink in sinks:
-            for node_id in sorted(usable3[(producer, sink)]):
-                if shared:
-                    r3_vars[(node_id, producer, sink)] = r_vars[(node_id, producer)]
-                else:
-                    r3_vars[(node_id, producer, sink)] = model.add_binary(
-                        f"R[{node_id}][{producer}][{sink}]"
-                    )
+        shared_of[producer] = shared
+        if shared:
+            continue
+        for snk in sinks:
+            r3_keys.extend(
+                (node_id, producer, snk)
+                for node_id in sorted_u3[(producer, snk)]
+            )
+    r3_block, r3_list = model.add_var_block(
+        "R3",
+        r3_keys,
+        name_fn=lambda _family, key: f"R[{key[0]}][{key[1]}][{key[2]}]",
+    )
+    r3_vars: dict[tuple[str, str, Sink], Var] = dict(zip(r3_keys, r3_list))
+    for producer, sinks in sinks_of.items():
+        if not shared_of[producer]:
+            continue
+        for snk in sinks:
+            for node_id in sorted_u3[(producer, snk)]:
+                r3_vars[(node_id, producer, snk)] = r_vars[(node_id, producer)]
 
     # ------------------------------------------------------------------
-    # Constraints.
+    # Constraints (1)-(9) + objective (10).
+    #
+    # Two emitters produce the same rows in the same order: the blockwise
+    # one works on integer column indices straight out of the variable
+    # blocks (O(nnz) appends, no Var objects on the hot path); the legacy
+    # one is the pre-refactor per-``LinExpr`` code, kept verbatim as the
+    # benchmark baseline and equivalence oracle.
     # ------------------------------------------------------------------
+    if options.use_blocks:
+        _emit_rows_blockwise(
+            model,
+            options,
+            mrrg,
+            candidates,
+            terminal_ports,
+            sinks_of,
+            sorted_u3,
+            sorted_union,
+            shared_of,
+            f_group_pos,
+            f_block,
+            r_block,
+            r3_block,
+            f_vars,
+        )
+    else:
+        _emit_rows_legacy(
+            model,
+            options,
+            mrrg,
+            candidates,
+            terminal_ports,
+            sinks_of,
+            sorted_u3,
+            sorted_union,
+            f_vars,
+            r_vars,
+            r3_vars,
+        )
+
+    return Formulation(model, f_vars, r_vars, r3_vars, sinks_of)
+
+
+def _emit_rows_blockwise(
+    model: Model,
+    options: ILPMapperOptions,
+    mrrg: MRRG,
+    candidates: dict[str, list[MRRGNode]],
+    terminal_ports: dict[tuple[str, Sink], dict[str, str]],
+    sinks_of: dict[str, tuple[Sink, ...]],
+    sorted_u3: dict[tuple[str, Sink], list[str]],
+    sorted_union: dict[str, list[str]],
+    shared_of: dict[str, bool],
+    f_group_pos: dict[str, int],
+    f_block,
+    r_block,
+    r3_block,
+    f_vars: dict[tuple[str, str], Var],
+) -> None:
+    """Emit constraints (1)-(9) and objective (10) through row blocks.
+
+    Works entirely on integer column indices: variable blocks are
+    contiguous and created in a known order (F, then explicit-legality
+    extras, then R, then R3), so every constraint family either knows its
+    column order statically (two-term rows, contiguous placement ranges —
+    ``sorted_row``) or sorts a short pair list (``pairs_row``).  Row
+    order matches ``_emit_rows_legacy`` exactly.
+    """
+    writer = _BlockWriter(model)
+
+    f_index = {key: var.index for key, var in f_vars.items()}
+
+    # Per-producer (and per-sub-value) node -> column maps.  Blocks are
+    # contiguous, so the maps come from walking the block start offsets —
+    # no Var objects involved.  Shared sub-values alias the producer's R
+    # columns, restricted to the nodes the sub-value can actually use.
+    r_index_by_prod: dict[str, dict[str, int]] = {}
+    pos = r_block.start
+    for producer, nodes in sorted_union.items():
+        r_index_by_prod[producer] = dict(zip(nodes, range(pos, pos + len(nodes))))
+        pos += len(nodes)
+
+    r3_index_by_sub: dict[tuple[str, Sink], dict[str, int]] = {}
+    pos = r3_block.start
+    for producer, sinks in sinks_of.items():
+        if shared_of[producer]:
+            r_sub = r_index_by_prod[producer]
+            for snk in sinks:
+                r3_index_by_sub[(producer, snk)] = {
+                    node_id: r_sub[node_id]
+                    for node_id in sorted_u3[(producer, snk)]
+                }
+        else:
+            for snk in sinks:
+                nodes = sorted_u3[(producer, snk)]
+                r3_index_by_sub[(producer, snk)] = dict(
+                    zip(nodes, range(pos, pos + len(nodes)))
+                )
+                pos += len(nodes)
+
+    fanout_memo: dict[str, tuple[str, ...]] = {}
+    route_fanouts = mrrg.route_fanouts
+
+    # ``writer(family)`` is called at each emission point (not hoisted
+    # out of loops) so a family that emits no rows opens no block —
+    # matching the legacy path, which creates nothing for it.
+    # (1) Operation Placement: every op on exactly one functional unit.
+    # Candidate F columns are contiguous per op by construction.
+    for op_name, fus in candidates.items():
+        start = f_block.start + f_group_pos[op_name]
+        count = len(fus)
+        writer("placement").sorted_row(
+            range(start, start + count),
+            (1.0,) * count,
+            Sense.EQ,
+            1.0,
+            f"placement[{op_name}]",
+        )
+
+    # (2) Functional Unit Exclusivity.  Iterating f_index in insertion
+    # order visits ascending column indices, so per-FU lists are sorted.
+    by_fu: dict[str, list[int]] = {}
+    for (fu_id, _op), idx in f_index.items():
+        by_fu.setdefault(fu_id, []).append(idx)
+    for fu_id, idxs in by_fu.items():
+        if len(idxs) > 1:
+            writer("fu_excl").sorted_row(
+                idxs, (1.0,) * len(idxs), Sense.LE, 1.0, f"fu_excl[{fu_id}]"
+            )
+
+    # (4) Route Exclusivity.  Producer-major iteration visits ascending
+    # R columns, so per-node lists are sorted.
+    by_node: dict[str, list[int]] = {}
+    for producer, sub in r_index_by_prod.items():
+        for node_id, idx in sub.items():
+            by_node.setdefault(node_id, []).append(idx)
+    for node_id, idxs in by_node.items():
+        if len(idxs) > 1:
+            writer("route_excl").sorted_row(
+                idxs, (1.0,) * len(idxs), Sense.LE, 1.0, f"route_excl[{node_id}]"
+            )
+
+    # (5) Fanout Routing + (6) Implied Placement + (7) Initial Fanout.
+    for producer, sinks in sinks_of.items():
+        sink_groups: list[tuple[tuple[Sink, ...], bool]]
+        if not options.split_sub_values:
+            sink_groups = [(sinks, True)]
+        else:
+            sink_groups = [((snk,), False) for snk in sinks]
+
+        for group, grouped in sink_groups:
+            terminals: set[str] = set()
+            for snk in group:
+                terminals |= set(terminal_ports[(producer, snk)])
+            if grouped:
+                # The group covers every sink, so its reach is the
+                # producer's usable union and routing uses R columns.
+                idx_of = r_index_by_prod[producer]
+                ordered = sorted_union[producer]
+            else:
+                rep = group[0]
+                idx_of = r3_index_by_sub[(producer, rep)]
+                ordered = sorted_u3[(producer, rep)]
+
+            # (5): continue the route at every non-terminal node.
+            get = idx_of.get
+            for node_id in ordered:
+                if node_id in terminals:
+                    continue
+                var_idx = get(node_id)
+                if var_idx is None:
+                    continue
+                pairs = [(var_idx, 1.0)]
+                fanouts = fanout_memo.get(node_id)
+                if fanouts is None:
+                    fanouts = route_fanouts(node_id)
+                    fanout_memo[node_id] = fanouts
+                for m in fanouts:
+                    fo = get(m)
+                    if fo is not None:
+                        pairs.append((fo, -1.0))
+                writer("fanout").pairs_row(
+                    pairs, Sense.LE, 0.0, f"fanout[{node_id}][{producer}]"
+                )
+
+            # (6): termination implies downstream placement.
+            if grouped:
+                for snk in group:
+                    sub_get = r3_index_by_sub[(producer, snk)].get
+                    for port_id, fu_id in terminal_ports[(producer, snk)].items():
+                        var_idx = sub_get(port_id)
+                        if var_idx is None:
+                            continue
+                        # Example 3 strawman: any consumer may claim the
+                        # port (duplicate F columns coalesce in the row).
+                        pairs = [(var_idx, 1.0)]
+                        for s in group:
+                            fi = f_index.get((fu_id, s.op))
+                            if fi is not None:
+                                pairs.append((fi, -1.0))
+                        writer("implied").pairs_row(
+                            pairs, Sense.LE, 0.0, f"implied[{port_id}][{producer}]"
+                        )
+            else:
+                snk = group[0]
+                for port_id, fu_id in terminal_ports[(producer, snk)].items():
+                    var_idx = get(port_id)
+                    if var_idx is None:
+                        continue
+                    writer("implied").sorted_row(
+                        (f_index[(fu_id, snk.op)], var_idx),
+                        (-1.0, 1.0),
+                        Sense.LE,
+                        0.0,
+                        f"implied[{port_id}][{producer}][{snk}]",
+                    )
+
+        # (7): the producer's output starts every sub-value route.
+        for fu in candidates[producer]:
+            assert fu.output is not None
+            fvar_idx = f_index[(fu.node_id, producer)]
+            out = fu.output
+            start_idxs = [
+                r3_index_by_sub[(producer, s)].get(out) for s in sinks
+            ]
+            if options.split_sub_values:
+                unroutable = any(i is None for i in start_idxs)
+            else:
+                unroutable = all(i is None for i in start_idxs)
+            if unroutable:
+                # The output cannot reach (all of) the sinks: placing the
+                # producer on this unit is impossible.
+                writer("unroutable").sorted_row(
+                    (fvar_idx,),
+                    (1.0,),
+                    Sense.EQ,
+                    0.0,
+                    f"unroutable[{fu.node_id}][{producer}]",
+                )
+                continue
+            emitted: set[int] = set()
+            for snk, idx in zip(sinks, start_idxs):
+                if idx is None or idx in emitted:
+                    continue
+                emitted.add(idx)
+                writer("initial").sorted_row(
+                    (fvar_idx, idx),
+                    (-1.0, 1.0),
+                    Sense.EQ,
+                    0.0,
+                    f"initial[{out}][{producer}][{snk}]",
+                )
+
+        # (8): sink-agnostic usage covers every sink-specific route.
+        # Shared sub-values alias their R columns, so whole producers
+        # are skipped rather than testing per node.
+        if not shared_of[producer]:
+            r_sub = r_index_by_prod[producer]
+            for snk in sinks:
+                sub = r3_index_by_sub[(producer, snk)]
+                for node_id in sorted_u3[(producer, snk)]:
+                    writer("usage").sorted_row(
+                        (r_sub[node_id], sub[node_id]),
+                        (1.0, -1.0),
+                        Sense.GE,
+                        0.0,
+                        f"usage[{node_id}][{producer}][{snk}]",
+                    )
+
+    # (9) Multiplexer Input Exclusivity.
+    if options.mux_exclusivity:
+        route_fanins = mrrg.route_fanins
+        for node in mrrg.route_nodes():
+            nid = node.node_id
+            fanins = route_fanins(nid)
+            if len(fanins) <= 1:
+                continue
+            for producer in sinks_of:
+                sub = r_index_by_prod[producer]
+                rvar_idx = sub.get(nid)
+                pairs = [(sub[m], 1.0) for m in fanins if m in sub]
+                if rvar_idx is None:
+                    if not pairs:
+                        continue
+                else:
+                    pairs.append((rvar_idx, -1.0))
+                writer("mux_excl").pairs_row(
+                    pairs, Sense.EQ, 0.0, f"mux_excl[{nid}][{producer}]"
+                )
+
+    # (10) Objective: minimize routing resource usage.  R columns are
+    # one contiguous block whose keys are (node id, producer) in order.
+    if options.objective == "route_usage":
+        model.set_objective_terms(
+            list(r_block.indices), [1.0] * r_block.size
+        )
+    elif options.objective == "weighted":
+        assert options.node_weights is not None
+        weight = options.node_weights
+        model.set_objective_terms(
+            list(r_block.indices),
+            [
+                float(weight(mrrg.node(node_id)))
+                for node_id, _producer in r_block.keys
+            ],
+        )
+    else:
+        model.minimize(0.0)
+
+
+def _emit_rows_legacy(
+    model: Model,
+    options: ILPMapperOptions,
+    mrrg: MRRG,
+    candidates: dict[str, list[MRRGNode]],
+    terminal_ports: dict[tuple[str, Sink], dict[str, str]],
+    sinks_of: dict[str, tuple[Sink, ...]],
+    sorted_u3: dict[tuple[str, Sink], list[str]],
+    sorted_union: dict[str, list[str]],
+    f_vars: dict[tuple[str, str], Var],
+    r_vars: dict[tuple[str, str], Var],
+    r3_vars: dict[tuple[str, str, Sink], Var],
+) -> None:
+    """The pre-refactor per-``LinExpr`` emission, preserved verbatim.
+
+    One ``Constraint`` object per row through ``Model.add_terms`` — the
+    baseline that ``scripts/bench_formulation.py`` measures the blockwise
+    path against, and the oracle the equivalence tests compare it to.
+    """
     # (1) Operation Placement: every op on exactly one functional unit.
     for op_name, fus in candidates.items():
         model.add_terms(
             [(f_vars[(fu.node_id, op_name)], 1.0) for fu in fus],
             Sense.EQ,
             1.0,
-            name=f"placement[{op_name}]",
+            f"placement[{op_name}]",
         )
 
     # (2) Functional Unit Exclusivity.
@@ -276,7 +740,10 @@ def build_formulation(
     for fu_id, vars_ in by_fu.items():
         if len(vars_) > 1:
             model.add_terms(
-                [(v, 1.0) for v in vars_], Sense.LE, 1.0, name=f"fu_excl[{fu_id}]"
+                [(v, 1.0) for v in vars_],
+                Sense.LE,
+                1.0,
+                f"fu_excl[{fu_id}]",
             )
 
     # (4) Route Exclusivity.
@@ -289,37 +756,36 @@ def build_formulation(
                 [(v, 1.0) for v in vars_],
                 Sense.LE,
                 1.0,
-                name=f"route_excl[{node_id}]",
+                f"route_excl[{node_id}]",
             )
 
     # (5) Fanout Routing + (6) Implied Placement + (7) Initial Fanout.
     for producer, sinks in sinks_of.items():
-        value_shared = not options.split_sub_values
         sink_groups: list[tuple[tuple[Sink, ...], bool]]
-        if value_shared:
+        if not options.split_sub_values:
             sink_groups = [(sinks, True)]
         else:
-            sink_groups = [((sink,), False) for sink in sinks]
+            sink_groups = [((snk,), False) for snk in sinks]
 
         for group, grouped in sink_groups:
             terminals: set[str] = set()
-            for sink in group:
-                terminals |= set(terminal_ports[(producer, sink)])
-            reach: set[str] = set()
-            for sink in group:
-                reach |= usable3[(producer, sink)]
+            for snk in group:
+                terminals |= set(terminal_ports[(producer, snk)])
 
             # (5): continue the route at every non-terminal node.
             if grouped:
+                ordered = sorted_union[producer]
+
                 def getvar(m: str) -> Var | None:
                     return r_vars.get((m, producer))
             else:
                 rep = group[0]
+                ordered = sorted_u3[(producer, rep)]
 
                 def getvar(m: str) -> Var | None:
                     return r3_vars.get((m, producer, rep))
 
-            for node_id in sorted(reach):
+            for node_id in ordered:
                 if node_id in terminals:
                     continue
                 var = getvar(node_id)
@@ -330,15 +796,17 @@ def build_formulation(
                     for v in (getvar(m) for m in mrrg.route_fanouts(node_id))
                     if v is not None
                 ]
-                terms = [(var, 1.0)] + [(v, -1.0) for v in fanout_vars]
                 model.add_terms(
-                    terms, Sense.LE, 0.0, name=f"fanout[{node_id}][{producer}]"
+                    [(var, 1.0)] + [(v, -1.0) for v in fanout_vars],
+                    Sense.LE,
+                    0.0,
+                    f"fanout[{node_id}][{producer}]",
                 )
 
             # (6): termination implies downstream placement.
-            for sink in group:
-                for port_id, fu_id in terminal_ports[(producer, sink)].items():
-                    var = r3_vars.get((port_id, producer, sink))
+            for snk in group:
+                for port_id, fu_id in terminal_ports[(producer, snk)].items():
+                    var = r3_vars.get((port_id, producer, snk))
                     if var is None:
                         continue
                     if grouped:
@@ -348,20 +816,19 @@ def build_formulation(
                             for s in group
                             if (fu_id, s.op) in f_vars
                         ]
-                        terms = [(var, 1.0)] + [(f, -1.0) for f in fvars]
                         model.add_terms(
-                            terms,
+                            [(var, 1.0)] + [(f, -1.0) for f in fvars],
                             Sense.LE,
                             0.0,
-                            name=f"implied[{port_id}][{producer}]",
+                            f"implied[{port_id}][{producer}]",
                         )
                     else:
-                        fvar = f_vars[(fu_id, sink.op)]
+                        fvar = f_vars[(fu_id, snk.op)]
                         model.add_terms(
                             [(var, 1.0), (fvar, -1.0)],
                             Sense.LE,
                             0.0,
-                            name=f"implied[{port_id}][{producer}][{sink}]",
+                            f"implied[{port_id}][{producer}][{snk}]",
                         )
 
         # (7): the producer's output starts every sub-value route.
@@ -380,11 +847,11 @@ def build_formulation(
                     [(fvar, 1.0)],
                     Sense.EQ,
                     0.0,
-                    name=f"unroutable[{fu.node_id}][{producer}]",
+                    f"unroutable[{fu.node_id}][{producer}]",
                 )
                 continue
             emitted: set[int] = set()
-            for sink, var in zip(sinks, start_vars):
+            for snk, var in zip(sinks, start_vars):
                 if var is None or id(var) in emitted:
                     continue
                 emitted.add(id(var))
@@ -392,13 +859,13 @@ def build_formulation(
                     [(var, 1.0), (fvar, -1.0)],
                     Sense.EQ,
                     0.0,
-                    name=f"initial[{fu.output}][{producer}][{sink}]",
+                    f"initial[{fu.output}][{producer}][{snk}]",
                 )
 
         # (8): sink-agnostic usage covers every sink-specific route.
-        for sink in sinks:
-            for node_id in sorted(usable3[(producer, sink)]):
-                r3 = r3_vars[(node_id, producer, sink)]
+        for snk in sinks:
+            for node_id in sorted_u3[(producer, snk)]:
+                r3 = r3_vars[(node_id, producer, snk)]
                 r = r_vars[(node_id, producer)]
                 if r3 is r:
                     continue
@@ -406,7 +873,7 @@ def build_formulation(
                     [(r, 1.0), (r3, -1.0)],
                     Sense.GE,
                     0.0,
-                    name=f"usage[{node_id}][{producer}][{sink}]",
+                    f"usage[{node_id}][{producer}][{snk}]",
                 )
 
     # (9) Multiplexer Input Exclusivity.
@@ -431,21 +898,17 @@ def build_formulation(
                     terms,
                     Sense.EQ,
                     0.0,
-                    name=f"mux_excl[{node.node_id}][{producer}]",
+                    f"mux_excl[{node.node_id}][{producer}]",
                 )
 
     # (10) Objective: minimize routing resource usage.
     if options.objective == "route_usage":
-        model.minimize(
-            _objective_expr(model, r_vars, lambda node: 1.0, mrrg)
-        )
+        model.minimize(_objective_expr(model, r_vars, lambda node: 1.0, mrrg))
     elif options.objective == "weighted":
         assert options.node_weights is not None
         model.minimize(_objective_expr(model, r_vars, options.node_weights, mrrg))
     else:
         model.minimize(0.0)
-
-    return Formulation(model, f_vars, r_vars, r3_vars, sinks_of)
 
 
 def _objective_expr(model, r_vars, weight_fn, mrrg):
@@ -459,27 +922,11 @@ def _objective_expr(model, r_vars, weight_fn, mrrg):
 
 
 def _forward_route_reach(mrrg: MRRG, starts: set[str]) -> set[str]:
-    seen = set(starts)
-    queue = deque(starts)
-    while queue:
-        current = queue.popleft()
-        for nxt in mrrg.route_fanouts(current):
-            if nxt not in seen:
-                seen.add(nxt)
-                queue.append(nxt)
-    return seen
+    return _route_reach(starts, mrrg.route_fanouts)
 
 
 def _backward_route_reach(mrrg: MRRG, starts: set[str]) -> set[str]:
-    seen = set(starts)
-    queue = deque(starts)
-    while queue:
-        current = queue.popleft()
-        for prev in mrrg.route_fanins(current):
-            if prev not in seen:
-                seen.add(prev)
-                queue.append(prev)
-    return seen
+    return _route_reach(starts, mrrg.route_fanins)
 
 
 class ILPMapper(Mapper):
@@ -490,20 +937,79 @@ class ILPMapper(Mapper):
         telemetry: optional event sink — any object exposing
             ``emit(kind, duration=None, **fields)`` (e.g. the service
             layer's :class:`repro.service.telemetry.EventBus`).  Emits
-            ``model-build``, ``solve``, ``route`` and ``verify`` events.
+            ``model-build``, ``model-compile``, ``model-audit``,
+            ``solve``, ``route`` and ``verify`` events.
+        form_cache: optional :class:`~repro.mapper.sweep.FormulationCache`
+            — when the same (DFG, MRRG, formulation options) instance is
+            mapped repeatedly (portfolio backend stages, II re-attempts),
+            the built and compiled formulation is reused instead of
+            rebuilt.
     """
 
     name = "ilp"
 
     def __init__(
-        self, options: ILPMapperOptions | None = None, telemetry=None
+        self,
+        options: ILPMapperOptions | None = None,
+        telemetry=None,
+        form_cache=None,
     ):
         self.options = options or ILPMapperOptions()
         self.telemetry = telemetry
+        self.form_cache = form_cache
 
     def _emit(self, kind: str, duration: float | None = None, **fields) -> None:
         if self.telemetry is not None:
             self.telemetry.emit(kind, duration=duration, **fields)
+
+    def _formulate(
+        self, dfg: DFG, mrrg: MRRG
+    ) -> tuple[Formulation, StandardForm | None]:
+        """Build + compile (or reuse) the formulation, with telemetry."""
+        opts = self.options
+        if self.form_cache is not None:
+            cached = self.form_cache.get(dfg, mrrg, opts)
+            if cached is not None:
+                formulation, form = cached
+                self._emit(
+                    "model-build",
+                    duration=0.0,
+                    dfg=dfg.name,
+                    mrrg=mrrg.name,
+                    cached=True,
+                    **formulation.stats(),
+                )
+                return formulation, form
+
+        reach_cache = (
+            self.form_cache.reach_cache_for(mrrg)
+            if self.form_cache is not None
+            else None
+        )
+        build_start = time.perf_counter()
+        formulation = build_formulation(dfg, mrrg, opts, reach_cache=reach_cache)
+        self._emit(
+            "model-build",
+            duration=time.perf_counter() - build_start,
+            dfg=dfg.name,
+            mrrg=mrrg.name,
+            infeasible_reason=formulation.infeasible_reason,
+            **formulation.stats(),
+        )
+        if formulation.infeasible_reason is not None:
+            return formulation, None
+
+        compile_start = time.perf_counter()
+        form = compile_model(formulation.model)
+        self._emit(
+            "model-compile",
+            duration=time.perf_counter() - compile_start,
+            rows=form.num_rows,
+            nnz=int(form.A.nnz),
+        )
+        if self.form_cache is not None:
+            self.form_cache.put(dfg, mrrg, opts, formulation, form)
+        return formulation, form
 
     def map(self, dfg: DFG, mrrg: MRRG) -> MapResult:
         """Build and solve the formulation; extract and verify the mapping."""
@@ -526,16 +1032,8 @@ class ILPMapper(Mapper):
                     detail=f"structural witness {witness.rule}: {witness.message}",
                     proven_optimal=True,
                 )
-        formulation = build_formulation(dfg, mrrg, opts)
+        formulation, form = self._formulate(dfg, mrrg)
         formulation_time = time.perf_counter() - start
-        self._emit(
-            "model-build",
-            duration=formulation_time,
-            dfg=dfg.name,
-            mrrg=mrrg.name,
-            infeasible_reason=formulation.infeasible_reason,
-            **formulation.stats(),
-        )
         if formulation.infeasible_reason is not None:
             return MapResult(
                 status=MapStatus.INFEASIBLE,
@@ -543,10 +1041,11 @@ class ILPMapper(Mapper):
                 detail=formulation.infeasible_reason,
                 proven_optimal=True,
             )
+        assert form is not None
 
         if opts.pre_audit:
             audit_start = time.perf_counter()
-            report = audit_model(formulation.model)
+            report = audit_form(form)
             fatal = report.fatal
             self._emit(
                 "model-audit",
@@ -563,8 +1062,8 @@ class ILPMapper(Mapper):
                     proven_optimal=True,
                 )
 
-        solution = solve(
-            formulation.model,
+        solution = solve_form(
+            form,
             backend=opts.backend,
             time_limit=opts.time_limit,
             mip_rel_gap=opts.mip_rel_gap,
@@ -646,10 +1145,10 @@ def extract_mapping(
             placement[op_name] = fu_id
     routes: dict[tuple[str, Sink], frozenset[str]] = {}
     used: dict[tuple[str, Sink], set[str]] = {}
-    for (node_id, producer, sink), var in formulation.r3_vars.items():
+    for (node_id, producer, snk), var in formulation.r3_vars.items():
         if solution.is_set(var):
-            used.setdefault((producer, sink), set()).add(node_id)
+            used.setdefault((producer, snk), set()).add(node_id)
     for producer, sinks in formulation.sinks_of.items():
-        for sink in sinks:
-            routes[(producer, sink)] = frozenset(used.get((producer, sink), set()))
+        for snk in sinks:
+            routes[(producer, snk)] = frozenset(used.get((producer, snk), set()))
     return Mapping(dfg=dfg, mrrg=mrrg, placement=placement, routes=routes)

@@ -15,10 +15,9 @@ from collections.abc import Callable
 
 from ..arch.module import Module
 from ..dfg.graph import DFG
-from ..mrrg.analysis import prune
-from ..mrrg.build import build_mrrg_from_module
 from .base import Mapper, MapResult, MapStatus
 from .ilp_mapper import ILPMapper, ILPMapperOptions
+from .sweep import IISweep
 
 
 @dataclasses.dataclass
@@ -53,6 +52,11 @@ def find_min_ii(
     larger IIs (more contexts add resources), so the search continues past
     proven-infeasible IIs; it stops early only on success.
 
+    The loop rides the shared :class:`~repro.mapper.sweep.IISweep`
+    engine: the architecture is flattened once for the whole search (not
+    once per II), and ILP mappers share one formulation cache so retried
+    IIs skip rebuild and recompile.
+
     Args:
         dfg: the kernel to map.
         architecture: the spatial architecture module (contexts are a
@@ -71,13 +75,12 @@ def find_min_ii(
         def mapper_factory() -> Mapper:
             return ILPMapper(ILPMapperOptions(time_limit=120.0, mip_rel_gap=1.0))
 
-    attempts: dict[int, MapResult] = {}
-    for ii in range(1, max_ii + 1):
-        mrrg = build_mrrg_from_module(architecture, ii)
-        if prune_mrrg:
-            mrrg = prune(mrrg)
-        result = mapper_factory().map(dfg, mrrg)
-        attempts[ii] = result
-        if result.status is MapStatus.MAPPED:
-            return IISearchResult(best_ii=ii, result=result, attempts=attempts)
+    sweep = IISweep(dfg, architecture, prune_mrrg=prune_mrrg)
+    sweep_attempts = sweep.run(max_ii, mapper_factory)
+    attempts: dict[int, MapResult] = {a.ii: a.result for a in sweep_attempts}
+    last = sweep_attempts[-1]
+    if last.result.status is MapStatus.MAPPED:
+        return IISearchResult(
+            best_ii=last.ii, result=last.result, attempts=attempts
+        )
     return IISearchResult(best_ii=None, result=None, attempts=attempts)

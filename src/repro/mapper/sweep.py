@@ -1,0 +1,192 @@
+"""Shared incremental II-sweep engine.
+
+Three call sites used to run their own "build MRRG at II, formulate,
+solve" loop — :func:`repro.mapper.search.find_min_ii`, the service
+layer's per-request path and the portfolio's ILP stages — each
+re-flattening the architecture and re-building (and re-compiling) the
+same formulation from scratch.  This module centralizes the incremental
+machinery:
+
+* :class:`FormulationCache` — shares the built *and compiled*
+  formulation across repeated :meth:`ILPMapper.map` calls on the same
+  (DFG, MRRG, formulation options) instance, plus one
+  :class:`~repro.mapper.ilp_mapper.RouteReachCache` per MRRG so
+  route-reachability BFS results carry across option variants;
+* :class:`IISweep` — walks II = 1..max_ii for one (DFG, architecture)
+  pair, flattening the architecture once (via
+  :class:`~repro.mrrg.build.MRRGFactory`), memoizing the pruned MRRG per
+  II, and injecting the shared formulation cache into every ILP mapper
+  it drives.
+
+Cache keys are object identities (``id(dfg)``, ``id(mrrg)``) plus the
+options' :meth:`~repro.mapper.ilp_mapper.ILPMapperOptions.formulation_key`;
+entries hold strong references to the keyed objects so an id can never
+be silently reused by a garbage-collected stranger.  The cache is
+per-sweep / per-request scoped — create one where the loop starts, do
+not share it process-wide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from ..arch.module import Module
+from ..dfg.graph import DFG
+from ..ilp.standard_form import StandardForm
+from ..mrrg.build import MRRGFactory
+from ..mrrg.graph import MRRG
+from .base import Mapper, MapResult, MapStatus
+from .ilp_mapper import (
+    Formulation,
+    ILPMapper,
+    ILPMapperOptions,
+    RouteReachCache,
+)
+
+
+@dataclasses.dataclass
+class _CacheEntry:
+    """One cached formulation; holds strong refs to its key objects."""
+
+    dfg: DFG
+    mrrg: MRRG
+    formulation: Formulation
+    form: StandardForm
+
+
+class FormulationCache:
+    """Reuses built+compiled formulations across map() calls.
+
+    Keyed by ``(id(dfg), id(mrrg), options.formulation_key())`` — the
+    same kernel mapped onto the same MRRG object with
+    formulation-equivalent options (solver backend and budgets excluded)
+    yields the same model, so the portfolio's ``ilp-highs`` and
+    ``ilp-bnb`` stages, timeout retries, and repeated sweep attempts all
+    skip straight to the solver.
+
+    Attributes:
+        hits/misses: lookup counters (exposed for telemetry and tests).
+    """
+
+    def __init__(self):
+        self._entries: dict[tuple, _CacheEntry] = {}
+        self._reach: dict[int, tuple[MRRG, RouteReachCache]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(dfg: DFG, mrrg: MRRG, options: ILPMapperOptions) -> tuple:
+        return (id(dfg), id(mrrg), options.formulation_key())
+
+    def get(
+        self, dfg: DFG, mrrg: MRRG, options: ILPMapperOptions
+    ) -> tuple[Formulation, StandardForm] | None:
+        entry = self._entries.get(self._key(dfg, mrrg, options))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.formulation, entry.form
+
+    def put(
+        self,
+        dfg: DFG,
+        mrrg: MRRG,
+        options: ILPMapperOptions,
+        formulation: Formulation,
+        form: StandardForm,
+    ) -> None:
+        self._entries[self._key(dfg, mrrg, options)] = _CacheEntry(
+            dfg=dfg, mrrg=mrrg, formulation=formulation, form=form
+        )
+
+    def reach_cache_for(self, mrrg: MRRG) -> RouteReachCache:
+        """The shared route-reachability cache for ``mrrg``."""
+        held = self._reach.get(id(mrrg))
+        if held is None or held[0] is not mrrg:
+            held = (mrrg, RouteReachCache(mrrg))
+            self._reach[id(mrrg)] = held
+        return held[1]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclasses.dataclass
+class SweepAttempt:
+    """One II attempt inside a sweep."""
+
+    ii: int
+    mrrg: MRRG
+    result: MapResult
+
+
+class IISweep:
+    """Incremental II-sweep state for one (DFG, architecture) pair.
+
+    Flattens the architecture once, memoizes the (pruned) MRRG per II
+    and shares one :class:`FormulationCache` across every attempt.  ILP
+    mappers produced by the caller's factory get the shared cache
+    injected (unless they already carry one), so a timeout-then-retry at
+    the same II reuses the compiled formulation.
+
+    Args:
+        dfg: the kernel to map.
+        architecture: the spatial architecture module.
+        prune_mrrg: drop dead routing resources before mapping.
+        mrrg_factory: override the per-architecture MRRG factory (e.g.
+            to share it across sweeps of different kernels).
+        form_cache: override the formulation cache (e.g. the service
+            layer's per-request cache).
+    """
+
+    def __init__(
+        self,
+        dfg: DFG,
+        architecture: Module,
+        prune_mrrg: bool = True,
+        mrrg_factory: MRRGFactory | None = None,
+        form_cache: FormulationCache | None = None,
+    ):
+        self.dfg = dfg
+        self.prune_mrrg = prune_mrrg
+        self.mrrg_factory = mrrg_factory or MRRGFactory(architecture)
+        self.form_cache = form_cache or FormulationCache()
+
+    def mrrg(self, ii: int) -> MRRG:
+        """The memoized (pruned) MRRG at ``ii`` contexts."""
+        return self.mrrg_factory.mrrg(ii, prune=self.prune_mrrg)
+
+    def attempt(self, ii: int, mapper: Mapper) -> SweepAttempt:
+        """Map at one II, sharing the sweep's caches with the mapper."""
+        if isinstance(mapper, ILPMapper) and mapper.form_cache is None:
+            mapper.form_cache = self.form_cache
+        mrrg = self.mrrg(ii)
+        return SweepAttempt(ii=ii, mrrg=mrrg, result=mapper.map(self.dfg, mrrg))
+
+    def run(
+        self,
+        max_ii: int,
+        mapper_factory: Callable[[], Mapper],
+        stop_on: Callable[[MapResult], bool] | None = None,
+    ) -> list[SweepAttempt]:
+        """Attempt II = 1..max_ii in order, stopping early on success.
+
+        ``stop_on`` decides early termination (default: a MAPPED
+        result); infeasibility at a small II never stops the sweep —
+        more contexts add resources.
+        """
+        if max_ii < 1:
+            raise ValueError("max_ii must be >= 1")
+        if stop_on is None:
+            def stop_on(result: MapResult) -> bool:
+                return result.status is MapStatus.MAPPED
+
+        attempts: list[SweepAttempt] = []
+        for ii in range(1, max_ii + 1):
+            attempt = self.attempt(ii, mapper_factory())
+            attempts.append(attempt)
+            if stop_on(attempt.result):
+                break
+        return attempts

@@ -7,7 +7,7 @@ from .analysis import (
     reachable_route_nodes,
     stats,
 )
-from .build import build_mrrg, build_mrrg_from_module
+from .build import MRRGFactory, build_mrrg, build_mrrg_from_module
 from .dot import to_dot
 from .fragments import MRRGCraft, crossed_operand_mrrg, mrrg_a, mrrg_c, mrrg_loop
 from .graph import MRRG, MRRGError, MRRGNode, NodeKind, node_id
@@ -17,6 +17,7 @@ __all__ = [
     "MRRG",
     "MRRGCraft",
     "MRRGError",
+    "MRRGFactory",
     "MRRGNode",
     "MRRGStats",
     "MRRGValidationError",

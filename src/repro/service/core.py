@@ -24,8 +24,7 @@ from pathlib import Path
 from ..arch.module import Module
 from ..dfg.graph import DFG
 from ..mapper.base import MapResult, MapStatus
-from ..mrrg.analysis import prune
-from ..mrrg.build import build_mrrg_from_module
+from ..mrrg.build import MRRGFactory
 from ..mrrg.graph import MRRG
 from .cache import CacheError, MappingCache, entry_from_result, result_from_entry
 from .fingerprint import canonical_module, fingerprint_document, fingerprint_request
@@ -89,8 +88,11 @@ class MappingService:
         if telemetry_path is not None:
             self._writer = JsonlWriter(telemetry_path)
             self.bus.subscribe(self._writer)
-        # (arch fingerprint, contexts) -> pruned MRRG, shared across jobs.
+        # (arch fingerprint, contexts) -> pruned MRRG, shared across jobs;
+        # the per-architecture factory also hoists flatten() across
+        # context counts, so an II sweep flattens the module tree once.
         self._mrrgs: dict[tuple[str, int], MRRG] = {}
+        self._factories: dict[str, MRRGFactory] = {}
 
     def close(self) -> None:
         if self._writer is not None:
@@ -109,10 +111,14 @@ class MappingService:
         arch_fp = fingerprint_document(canonical_module(arch))
         key = (arch_fp, contexts)
         if key not in self._mrrgs:
+            factory = self._factories.get(arch_fp)
+            if factory is None:
+                factory = MRRGFactory(arch)
+                self._factories[arch_fp] = factory
             with self.bus.timed(
                 "mrrg-build", arch=arch.name, contexts=contexts
             ) as extra:
-                mrrg = prune(build_mrrg_from_module(arch, contexts))
+                mrrg = factory.mrrg(contexts, prune=True)
                 extra["nodes"] = len(mrrg)
                 extra["edges"] = mrrg.num_edges()
             self._mrrgs[key] = mrrg

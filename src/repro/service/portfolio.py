@@ -34,6 +34,7 @@ from ..mapper.base import Mapper, MapResult, MapStatus
 from ..mapper.greedy_mapper import GreedyMapper, GreedyMapperOptions
 from ..mapper.ilp_mapper import ILPMapper, ILPMapperOptions
 from ..mapper.sa_mapper import SAMapper, SAMapperOptions
+from ..mapper.sweep import FormulationCache
 from ..mrrg.graph import MRRG
 
 _MAPPER_NAMES = ("greedy", "sa", "ilp")
@@ -192,6 +193,7 @@ def _build_mapper(
     budget: float | None,
     config: PortfolioConfig,
     telemetry: Any = None,
+    form_cache: FormulationCache | None = None,
 ) -> Mapper:
     if stage.mapper == "greedy":
         return GreedyMapper(
@@ -217,6 +219,7 @@ def _build_mapper(
             mip_rel_gap=config.mip_rel_gap,
         ),
         telemetry=telemetry,
+        form_cache=form_cache,
     )
 
 
@@ -263,6 +266,10 @@ def run_portfolio(
     start = time.perf_counter()
     attempts: list[StageAttempt] = []
     best: tuple[MapResult, str] | None = None
+    # One formulation cache per request: the ilp-highs and ilp-bnb rungs
+    # (and timeout retries) emit the same model, so build+compile runs
+    # once and every later exact attempt goes straight to the solver.
+    form_cache = FormulationCache()
 
     def remaining() -> float | None:
         if config.deadline is None:
@@ -335,7 +342,9 @@ def run_portfolio(
                     budget=effective,
                     attempt=attempt,
                 )
-            mapper = _build_mapper(stage, effective, config, telemetry)
+            mapper = _build_mapper(
+                stage, effective, config, telemetry, form_cache=form_cache
+            )
             result = mapper.map(dfg, mrrg)
             attempts.append(
                 StageAttempt(

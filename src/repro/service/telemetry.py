@@ -36,6 +36,7 @@ KNOWN_KINDS = (
     "pre-audit",
     "model-audit",
     "model-build",
+    "model-compile",
     "solve",
     "route",
     "verify",

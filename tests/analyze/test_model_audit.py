@@ -124,7 +124,7 @@ def test_mapper_returns_witness_without_invoking_solver(monkeypatch):
     def explode(*args, **kwargs):  # pragma: no cover - must never run
         raise AssertionError("HiGHS was invoked despite a structural witness")
 
-    monkeypatch.setattr("repro.mapper.ilp_mapper.solve", explode)
+    monkeypatch.setattr("repro.mapper.ilp_mapper.solve_form", explode)
     dfg = kernel("accum")
     mrrg = prune(build_mrrg_from_module(
         paper_architecture("homogeneous", "orthogonal", rows=2, cols=2), 1

@@ -45,6 +45,19 @@ for con in form.model.constraints:
     for var in con.expr.variables():
         digest.update(var.name.encode() + b",")
     digest.update(b";")
+
+# The compiled StandardForm is the surface the solver actually sees —
+# digest its raw arrays too, so a hash-seed leak anywhere between
+# emission and compilation is caught.
+from repro.ilp import compile_model
+
+sf = compile_model(form.model)
+for arr in (
+    sf.A.indptr, sf.A.indices, sf.A.data,
+    sf.row_lb, sf.row_ub, sf.var_lb, sf.var_ub, sf.c,
+):
+    digest.update(arr.tobytes())
+digest.update("|".join(sf.row_labels or ()).encode())
 print(digest.hexdigest())
 """
 
@@ -113,3 +126,49 @@ def test_simulator_schedule_survives_hash_randomization():
         "FabricSimulator schedule order depends on PYTHONHASHSEED; "
         "a raw set is being iterated in _build_schedule"
     )
+
+
+def _form_bytes(form) -> bytes:
+    """Every byte of a compiled StandardForm, in a fixed order."""
+    parts = [
+        form.A.indptr.tobytes(),
+        form.A.indices.tobytes(),
+        form.A.data.tobytes(),
+        form.row_lb.tobytes(),
+        form.row_ub.tobytes(),
+        form.var_lb.tobytes(),
+        form.var_ub.tobytes(),
+        form.c.tobytes(),
+        repr(form.c0).encode(),
+        b"|".join(label.encode() for label in form.row_labels or ()),
+        b"|".join(name.encode() for name in form.var_names or ()),
+    ]
+    return b"\x00".join(parts)
+
+
+def test_compiled_form_is_byte_identical_across_builds():
+    """Two independent builds of the same instance compile to the same
+
+    bytes — the property the service fingerprint/cache layer and the
+    formulation cache both lean on.
+    """
+    from repro.arch import GridSpec, build_grid
+    from repro.dfg import DFGBuilder
+    from repro.ilp import compile_model
+    from repro.mapper.ilp_mapper import ILPMapperOptions, build_formulation
+    from repro.mrrg import build_mrrg_from_module, prune
+
+    def build_once():
+        b = DFGBuilder("fanout")
+        x, y = b.input("x"), b.input("y")
+        s = b.add(x, y, name="s")
+        t = b.sub(s, y, name="t")
+        b.output(b.add(s, t, name="u"), name="o")
+        dfg = b.build()
+        grid = build_grid(GridSpec(rows=2, cols=2), name="g")
+        mrrg = prune(build_mrrg_from_module(grid, 1))
+        return compile_model(
+            build_formulation(dfg, mrrg, ILPMapperOptions()).model
+        )
+
+    assert _form_bytes(build_once()) == _form_bytes(build_once())

@@ -109,7 +109,7 @@ class TestPolicy:
             def map(self, dfg, mrrg):
                 return MapResult(status=MapStatus.TIMEOUT)
 
-        def fake_build(stage, budget, config, telemetry=None):
+        def fake_build(stage, budget, config, telemetry=None, form_cache=None):
             budgets.append(budget)
             return AlwaysTimeout()
 
